@@ -1,0 +1,48 @@
+"""Ablation — probing with ECT(1) instead of ECT(0).
+
+§3 notes the study probes with ECT(0) "to match the typical marking
+used with ECN for TCP"; RFC 3168 defines the two codepoints as
+equivalent.  This ablation repeats a trace's UDP-with-ECN measurement
+using ECT(1) and shows that, against middleboxes that match on "any
+ECT codepoint" (all of ours, as deployed gear typically does), the
+choice of codepoint does not change the result — supporting the
+paper's use of a single codepoint.
+"""
+
+from repro.core.probes import probe_udp
+from repro.netsim.ecn import ECN
+
+
+def test_ect1_equivalent_to_ect0(benchmark, bench_world):
+    world = bench_world
+    world.enter_batch(1)
+    host = world.vantage_hosts["ec2-frankfurt"]
+    targets = [s.addr for s in world.servers][:80]
+
+    def probe_both():
+        disagreements = 0
+        reachable_ect0 = 0
+        for addr in targets:
+            ect0 = probe_udp(host, addr, ECN.ECT_0, attempts=3).responded
+            ect1 = probe_udp(host, addr, ECN.ECT_1, attempts=3).responded
+            reachable_ect0 += ect0
+            if ect0 != ect1:
+                disagreements += 1
+        return reachable_ect0, disagreements
+
+    reachable, disagreements = benchmark.pedantic(probe_both, rounds=1, iterations=1)
+    print(f"\nECT(0) reachable: {reachable}/{len(targets)}; "
+          f"ECT(0)/ECT(1) disagreements: {disagreements}")
+    # Equivalent codepoints: only transient loss can make them differ.
+    assert reachable > 0.7 * len(targets)
+    assert disagreements <= 0.05 * len(targets)
+
+
+def test_blocked_servers_block_both_codepoints(bench_world):
+    world = bench_world
+    world.enter_batch(1)
+    host = world.vantage_hosts["ec2-frankfurt"]
+    for addr in sorted(world.ground_truth.udp_ect_blocked):
+        assert not probe_udp(host, addr, ECN.ECT_0, attempts=2).responded
+        assert not probe_udp(host, addr, ECN.ECT_1, attempts=2).responded
+        assert probe_udp(host, addr, ECN.NOT_ECT, attempts=3).responded

@@ -1,0 +1,34 @@
+"""Experiment F1 — Figure 1: world map of server locations.
+
+Regenerates the map point cloud and its text rendering, and checks
+that server density mirrors the pool's geography (a dense European
+cluster, sparse southern hemisphere).
+"""
+
+from repro.core.analysis.geographic import analyze_geography
+from repro.geo.regions import Region
+from repro.reporting.report import render_figure1
+
+
+def test_figure1_world_map(benchmark, bench_world):
+    world = bench_world
+    addrs = [s.addr for s in world.servers]
+
+    def regenerate():
+        distribution = analyze_geography(addrs, world.geo)
+        return distribution, render_figure1(distribution)
+
+    distribution, text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(text)
+
+    points = distribution.points
+    assert len(points) == distribution.total - distribution.count(Region.UNKNOWN)
+    # Europe (lat 35..70, lon -10..40) holds the majority of points.
+    in_europe = [
+        p for p in points if 35 <= p.latitude <= 70 and -10 <= p.longitude <= 40
+    ]
+    assert len(in_europe) > 0.5 * len(points)
+    # Southern hemisphere present but sparse.
+    southern = [p for p in points if p.latitude < 0]
+    assert 0 < len(southern) < 0.2 * len(points)

@@ -1,0 +1,53 @@
+"""Experiment F2 — Figure 2 and the §4.1 headline scalars.
+
+Benchmarks one complete trace (the per-bar unit of Figure 2: all four
+measurements against every server from one vantage) and regenerates
+both panels from the full study, asserting the paper's shape:
+
+* 2a: of not-ECT-reachable servers, a high but sub-100 % fraction is
+  also ECT(0)-reachable (paper: 98.97 % average, always >90 %), with
+  McQuistin home the visible outlier;
+* 2b: the converse percentage is higher (paper: 99.45 %).
+"""
+
+from repro.core.analysis.reachability import analyze_reachability
+from repro.reporting.report import render_figure2
+
+
+def test_figure2_single_trace_generation(benchmark, bench_world, bench_app):
+    """Time the per-bar unit of Figure 2: one full trace."""
+    trace = benchmark.pedantic(
+        bench_app.run_trace,
+        args=("ec2-ireland", 9_000, 2),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(trace.outcomes) == len(bench_world.servers)
+    assert trace.count_udp_plain() > 0.8 * len(bench_world.servers)
+
+
+def test_figure2_panels(benchmark, bench_study):
+    summary = benchmark.pedantic(
+        analyze_reachability, args=(bench_study,), rounds=3, iterations=1
+    )
+    print()
+    print(render_figure2(summary))
+
+    # Panel 2a shape (paper: avg 98.97 %, min >90 %).
+    assert summary.avg_pct_ect_given_plain > 93.0
+    assert summary.min_pct_ect_given_plain > 85.0
+    # Panel 2b exceeds 2a (paper: 99.45 % > 98.97 %).
+    assert summary.avg_pct_plain_given_ect > summary.avg_pct_ect_given_plain
+    # The congested/ECT-hostile home vantage is the outlier.
+    per_vantage = summary.vantage_avg_pct("a")
+    assert min(per_vantage, key=per_vantage.get) == "mcquistin-home"
+
+
+def test_headline_reachable_server_count(bench_study, bench_world):
+    """§4.1: 'an average of 2253 servers from the set of 2500'."""
+    summary = analyze_reachability(bench_study)
+    fraction = summary.avg_udp_plain / len(bench_world.servers)
+    assert 0.82 < fraction < 0.97  # paper: 2253/2500 = 0.90
+    # Early batch reaches more servers than the later one (churn).
+    per_batch = summary.batch_avg_reachable()
+    assert per_batch[1] > per_batch[2]

@@ -1,0 +1,70 @@
+"""Experiment F3 — Figure 3: per-server differential reachability.
+
+Regenerates both panels and asserts the paper's findings: a small set
+of servers shows >50 % differential reachability in panel 3a — the
+same set from every vantage (destination-side blocking) — while panel
+3b shows at most a few servers, two of them EC2-only (the Phoenix
+Public Library pair).
+"""
+
+from repro.core.analysis.differential import (
+    DifferentialAnalysis,
+    transient_vs_persistent,
+)
+from repro.reporting.report import render_figure3
+
+
+def test_figure3_panels(benchmark, bench_study, bench_world):
+    def regenerate():
+        return (
+            DifferentialAnalysis(bench_study, "plain-only"),
+            DifferentialAnalysis(bench_study, "ect-only"),
+        )
+
+    analysis_a, analysis_b = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(render_figure3(analysis_a, analysis_b))
+
+    truth = bench_world.ground_truth
+    expected_blocked = truth.udp_ect_blocked | truth.any_ect_blocked
+
+    # 3a: the blocked servers spike >50 % from every vantage, and the
+    # spike set is (nearly) the same everywhere — the paper's evidence
+    # of near-destination drops.
+    everywhere = analysis_a.servers_above_everywhere(0.5)
+    assert expected_blocked <= everywhere
+    assert len(everywhere - expected_blocked) <= 2
+
+    counts = analysis_a.count_above_per_vantage(0.5)
+    low, high = min(counts.values()), max(counts.values())
+    # Paper: 'between 9 and 14, depending on the location' (scaled).
+    assert low >= len(expected_blocked)
+    assert high <= len(expected_blocked) + len(truth.flaky_ect_blocked) + 3
+
+    # 3b: at most a few spikes, bounded by the deployed oddballs.
+    b_somewhere = analysis_b.servers_above_somewhere(0.5)
+    assert b_somewhere <= truth.not_ect_blocked | truth.phoenix
+    assert len(b_somewhere) <= 3
+
+
+def test_figure3_transient_outnumber_persistent(bench_study):
+    """§4.1: 'around 4x more servers that are transiently unreachable'."""
+    analysis = DifferentialAnalysis(bench_study, "plain-only")
+    persistent, transient = transient_vs_persistent(analysis)
+    assert len(transient) >= 2 * len(persistent)
+
+
+def test_figure3_phoenix_visible_from_ec2_only(bench_study, bench_world):
+    """Paper: the pair "seem to be affected in the traces taken from
+    EC2 only" — spikes appear from EC2 vantages, never from the homes
+    or campus."""
+    from repro.scenario.vantages import ec2_vantages
+
+    analysis_b = DifferentialAnalysis(bench_study, "ect-only")
+    ec2_spikes: set[int] = set()
+    for spec in ec2_vantages():
+        ec2_spikes |= analysis_b.servers_above(0.5, spec.key)
+    phoenix = bench_world.ground_truth.phoenix
+    assert phoenix <= ec2_spikes
+    for key in ("perkins-home", "mcquistin-home", "ugla-wired", "ugla-wireless"):
+        assert not (phoenix & analysis_b.servers_above(0.5, key))

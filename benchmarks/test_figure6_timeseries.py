@@ -1,0 +1,59 @@
+"""Experiment F6 — Figure 6: trends in ECN TCP capability.
+
+Regenerates the deployment time series (Medina 2000 → Trammell 2014
+plus our measured point) with a logistic trend fit, asserting the
+paper's reading: the 2015 measurement shows 'a significant increase in
+willingness to negotiate ECN ... but on a growth curve that looks to
+be in line with previous results'.
+"""
+
+from repro.core.analysis.tcp_ecn import (
+    HISTORICAL_STUDIES,
+    MEASUREMENT_YEAR,
+    analyze_tcp_ecn,
+    ecn_deployment_series,
+    fit_deployment_trend,
+)
+from repro.reporting.report import render_figure6
+
+
+def test_figure6_series_and_fit(benchmark, bench_study):
+    summary = analyze_tcp_ecn(bench_study)
+
+    def regenerate():
+        series = ecn_deployment_series(summary.pct_negotiated)
+        fit = fit_deployment_trend()
+        return series, fit
+
+    series, fit = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print()
+    print(render_figure6(summary.pct_negotiated))
+
+    # The series carries all the prior studies plus our point.
+    assert len(series) == len(HISTORICAL_STUDIES) + 1
+    assert series[-1].label == "measured"
+
+    # Significant increase over the most recent prior study
+    # (Trammell 2014: 56.17 %)...
+    assert summary.pct_negotiated > 56.17
+
+    # ...but consistent with the growth curve: above the
+    # extrapolation, within a moderate band.
+    residual = fit.residual(MEASUREMENT_YEAR, summary.pct_negotiated)
+    assert 0 < residual < 35
+
+    # And the curve itself is a sane adoption fit of the history.
+    assert fit.rmse < 6.0
+    assert fit.predict(2015.5) > fit.predict(2010.0) > fit.predict(2004.0)
+
+
+def test_figure6_history_values_match_cited_studies():
+    """The encoded points match the numbers cited in §4.3/§5."""
+    by_label = {}
+    for point in HISTORICAL_STUDIES:
+        by_label.setdefault(point.label, []).append(point.pct_negotiated)
+    assert by_label["Trammell"] == [56.17]
+    assert sorted(by_label["Kuhlewind"]) == [25.16, 29.48]
+    assert by_label["Bauer"] == [17.2]
+    assert all(v <= 1.5 for v in by_label["Medina"])
+    assert by_label["Langley"] == [1.0]

@@ -1,0 +1,64 @@
+"""Robustness — the conclusions are not artefacts of one random world.
+
+Builds three independently seeded synthetic Internets, measures each
+with a single-vantage trace, and checks that every headline conclusion
+holds in all of them with low variance: the reproduction's claims are
+properties of the calibrated *rates*, not of one lucky topology.
+"""
+
+from repro.core.analysis.reachability import analyze_reachability
+from repro.core.analysis.tcp_ecn import analyze_tcp_ecn
+from repro.core.measurement import MeasurementApplication
+from repro.core.traces import TraceSet
+from repro.scenario.internet import SyntheticInternet
+from repro.scenario.parameters import scaled_params
+from repro.stats.summaries import mean, stdev
+
+SEEDS = (11, 2718, 31459)
+SCALE = 0.05
+
+
+def _one_trace_study(seed: int):
+    world = SyntheticInternet(scaled_params(SCALE, seed=seed))
+    app = MeasurementApplication(world)
+    trace_set = TraceSet(server_addrs=list(app.targets))
+    trace_set.add(app.run_trace("ec2-ireland", trace_id=0, batch=1))
+    trace_set.add(app.run_trace("perkins-home", trace_id=1, batch=1))
+    return world, trace_set
+
+
+def test_headlines_stable_across_seeds(benchmark):
+    def run_all():
+        results = []
+        for seed in SEEDS:
+            world, trace_set = _one_trace_study(seed)
+            reach = analyze_reachability(trace_set)
+            tcp = analyze_tcp_ecn(trace_set)
+            results.append(
+                (
+                    reach.avg_pct_ect_given_plain,
+                    reach.avg_udp_plain / reach.total_servers,
+                    tcp.pct_negotiated,
+                )
+            )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    pct_a = [r[0] for r in results]
+    reachable_frac = [r[1] for r in results]
+    pct_neg = [r[2] for r in results]
+    print(
+        f"\nseeds {SEEDS}: 2a={['%.2f' % v for v in pct_a]}, "
+        f"reach={['%.2f' % v for v in reachable_frac]}, "
+        f"neg={['%.1f' % v for v in pct_neg]}"
+    )
+
+    # Every conclusion holds in every world...
+    for a, frac, neg in results:
+        assert a > 93.0
+        assert 0.80 < frac < 0.97
+        assert 74.0 < neg < 90.0
+    # ...with low cross-seed variance.
+    assert stdev(pct_a) < 2.0
+    assert stdev(pct_neg) < 4.0
+    assert mean(reachable_frac) > 0.85

@@ -1,0 +1,56 @@
+"""Experiment T1 — Table 1: geographic distribution of pool servers.
+
+Regenerates the table by running the discovery script against the
+simulated round-robin DNS and classifying every discovered address
+through the GeoLite2-style database, then checks the paper's shape:
+Europe dominates, followed by North America, then Asia, with a tiny
+Unknown remainder.
+"""
+
+import pytest
+
+from repro.core.analysis.geographic import analyze_geography
+from repro.core.discovery import PoolDiscovery
+from repro.geo.regions import Region
+from repro.reporting.report import render_table1
+
+
+def test_table1_discovery_and_classification(benchmark, bench_world):
+    world = bench_world
+
+    def regenerate():
+        discovery = PoolDiscovery(
+            world.vantage_hosts["ugla-wired"],
+            world.dns_addr,
+            world.pool.zone_names(),
+        )
+        report = discovery.run(until_stable_sweeps=2)
+        return report, analyze_geography(report.addresses, world.geo)
+
+    report, distribution = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    print()
+    print(render_table1(distribution))
+
+    # Discovery enumerates the pool.
+    assert len(report) == len(world.servers)
+    # Table 1 shape: Europe >> North America > Asia > the rest.
+    assert distribution.count(Region.EUROPE) > 3 * distribution.count(
+        Region.NORTH_AMERICA
+    ) * 0.8
+    assert distribution.count(Region.NORTH_AMERICA) > distribution.count(Region.ASIA)
+    assert distribution.count(Region.ASIA) > distribution.count(Region.AUSTRALIA)
+    assert distribution.count(Region.UNKNOWN) <= 2
+    assert distribution.total == len(world.servers)
+
+
+def test_table1_region_proportions_match_paper(bench_world):
+    """Region proportions track Table 1 within rounding at this scale."""
+    from repro.geo.regions import PAPER_REGION_COUNTS, PAPER_TOTAL_SERVERS
+
+    world = bench_world
+    distribution = analyze_geography([s.addr for s in world.servers], world.geo)
+    for region, paper_count in PAPER_REGION_COUNTS.items():
+        paper_share = paper_count / PAPER_TOTAL_SERVERS
+        here_share = distribution.count(region) / distribution.total
+        assert here_share == pytest.approx(paper_share, abs=0.03), region

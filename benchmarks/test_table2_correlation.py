@@ -1,0 +1,55 @@
+"""Experiment T2 — Table 2 / §4.4: UDP vs TCP failure correlation.
+
+Regenerates the per-vantage table of servers unreachable via ECT(0)
+UDP versus those also refusing TCP ECN, and asserts the paper's
+conclusions: the correlation is weak (most ECT-UDP-blocked servers
+negotiate ECN over TCP — middleboxes discriminate on payload
+protocol) and McQuistin home dwarfs every other vantage.
+"""
+
+from repro.core.analysis.correlation import analyze_correlation
+from repro.reporting.report import render_table2
+
+
+def test_table2(benchmark, bench_study, bench_world):
+    table = benchmark.pedantic(
+        analyze_correlation, args=(bench_study,), rounds=3, iterations=1
+    )
+    print()
+    print(render_table2(table))
+
+    # Weak correlation: most ECT-UDP-unreachable servers still
+    # negotiate ECN over TCP.
+    assert table.overall_fraction_also_failing < 0.5
+
+    # McQuistin home has by far the most ECT-UDP-unreachable servers
+    # (paper: 160 vs ~10 elsewhere).
+    mcquistin = table.row("mcquistin-home")
+    others = [
+        row.avg_udp_ect_unreachable
+        for row in table.rows
+        if row.vantage_key != "mcquistin-home"
+    ]
+    assert mcquistin.avg_udp_ect_unreachable > 2.5 * max(others)
+
+    # Every other vantage sees a small, similar count (paper: 8-16).
+    assert max(others) <= 4 * max(1.0, min(others))
+
+    # The failure column is small but non-zero overall (paper: 2-5,
+    # 20 for McQuistin).
+    total_failing = sum(row.avg_fail_tcp_ecn for row in table.rows)
+    assert total_failing > 0
+    assert mcquistin.avg_fail_tcp_ecn >= max(
+        row.avg_fail_tcp_ecn
+        for row in table.rows
+        if row.vantage_key != "mcquistin-home"
+    )
+
+
+def test_table2_majority_negotiate(bench_study):
+    """§4.4: 'The majority of servers that cannot be reached using ECN
+    with UDP can be reached using ECN with TCP.'"""
+    table = analyze_correlation(bench_study)
+    negotiating = sum(r.avg_negotiate_tcp_ecn * r.traces for r in table.rows)
+    failing = sum(r.avg_fail_tcp_ecn * r.traces for r in table.rows)
+    assert negotiating > failing

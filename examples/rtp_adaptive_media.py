@@ -1,0 +1,84 @@
+"""Adaptive RTP media over a real RED/ECN bottleneck.
+
+Everything the paper motivates in §1, end to end: an RTP sender with a
+NADA-style controller streams across a bandwidth-limited link with a
+RED queue, in full event-driven simulation.  Run twice:
+
+* **ECN-capable bottleneck** — RED CE-marks the ECT(0) media; the
+  controller converges onto the link rate with (near) zero loss and a
+  short queue: "lower queue occupancy, hence lower latency ... react
+  to congestion without packet loss" (§1);
+* **drop-only bottleneck** — same queue, no ECN: every congestion
+  signal is a lost media packet (a visible glitch).
+
+    python examples/rtp_adaptive_media.py
+"""
+
+from repro.netsim.buffered import buffered_pair
+from repro.netsim.host import Host
+from repro.netsim.ipv4 import parse_addr
+from repro.netsim.network import EVENT, Network
+from repro.netsim.queues import REDQueue
+from repro.netsim.router import Router
+from repro.netsim.topology import Topology
+from repro.protocols.rtp import NADAController, run_media_session
+
+BOTTLENECK_BPS = 1_000_000
+
+
+def build_bottleneck_net(ecn_capable: bool):
+    topo = Topology()
+    topo.add_router(Router("r0", asn=1, interface_addr=parse_addr("10.0.0.1")))
+    topo.add_router(Router("r1", asn=2, interface_addr=parse_addr("10.0.1.1")))
+    red = REDQueue(
+        min_threshold=4,
+        max_threshold=16,
+        max_probability=0.2,
+        weight=0.1,
+        ecn_capable_queue=ecn_capable,
+    )
+    forward, backward = buffered_pair(
+        "r0", "r1", bandwidth=BOTTLENECK_BPS, delay=0.02, queue_limit=60, red=red
+    )
+    topo.add_link_pair(forward, backward)
+    sender = topo.add_host(Host("media-sender", parse_addr("192.0.2.1"), "r0"))
+    receiver = topo.add_host(Host("media-receiver", parse_addr("198.51.100.1"), "r1"))
+    net = Network(topo, seed=7, mode=EVENT)
+    forward.bind_clock(net.scheduler.clock)
+    backward.bind_clock(net.scheduler.clock)
+    return net, sender, receiver, forward
+
+
+def run_case(label: str, ecn_capable: bool) -> None:
+    net, sender_host, receiver_host, bottleneck = build_bottleneck_net(ecn_capable)
+    controller = NADAController(
+        initial_rate=1_500_000, max_rate=2_500_000, min_rate=200_000
+    )
+    stats, receiver = run_media_session(
+        sender_host, receiver_host, 5004, duration=20.0, controller=controller
+    )
+    loss_pct = 100.0 * stats.observed_loss / max(stats.sent, 1)
+    print(f"\n== {label} ==")
+    print(f"  ECN state         : {stats.ecn_state}")
+    print(f"  sent / received   : {stats.sent} / {receiver.received}")
+    print(f"  CE marks observed : {stats.observed_ce}")
+    print(f"  media lost        : {stats.observed_loss} ({loss_pct:.1f}%)")
+    print(f"  final send rate   : {stats.final_rate / 1000:.0f} kbps "
+          f"(bottleneck {BOTTLENECK_BPS / 1000:.0f} kbps)")
+    print(f"  bottleneck queue  : {bottleneck.ce_marks} CE-marked, "
+          f"{bottleneck.red_drops} RED-dropped, {bottleneck.tail_drops} tail-dropped")
+
+
+def main() -> None:
+    print("Starting above the bottleneck rate (1.5 Mbps into 1.0 Mbps)...")
+    run_case("RED with ECN (CE marks)", ecn_capable=True)
+    run_case("RED without ECN (drops)", ecn_capable=False)
+    print(
+        "\nWith ECN the controller hears about congestion through CE marks"
+        "\nand backs off with almost no media loss; without it, every"
+        "\ncongestion signal costs a lost packet the viewer would notice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy shim so editable installs work on older setuptools."""
+
+from setuptools import setup
+
+setup()

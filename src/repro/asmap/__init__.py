@@ -1,0 +1,13 @@
+"""IP→AS mapping and AS-boundary inference."""
+
+from .boundaries import BoundaryVerdict, boundary_fraction, classify_hop
+from .mapping import ASMap, NoisyASMap, UNKNOWN_ASN
+
+__all__ = [
+    "ASMap",
+    "BoundaryVerdict",
+    "NoisyASMap",
+    "UNKNOWN_ASN",
+    "boundary_fraction",
+    "classify_hop",
+]

@@ -1,0 +1,78 @@
+"""AS-boundary classification of path positions.
+
+The paper reports that 59.1 % of the locations where ECT(0) marks are
+stripped "were at AS boundaries (again, subject to the limitations of
+inferring AS number from traceroute IP addresses)".  Given a sequence
+of per-hop ASNs, this module decides whether a given hop sits at a
+boundary: its ASN differs from the previous responsive hop's ASN, with
+unknown hops skipped the way traceroute analyses conventionally do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .mapping import UNKNOWN_ASN
+
+
+@dataclass(frozen=True)
+class BoundaryVerdict:
+    """Classification of one hop position."""
+
+    is_boundary: bool
+    #: True when unknown ASNs prevented a confident call.
+    determinate: bool
+
+
+def classify_hop(asns: Sequence[int], index: int) -> BoundaryVerdict:
+    """Is the hop at ``index`` the first hop inside a new AS?
+
+    A hop is *at an AS boundary* when its ASN is known and differs from
+    the nearest preceding hop with a known ASN.  If either side is
+    unknown the verdict is indeterminate (and counted as non-boundary,
+    the conservative choice the paper's phrasing implies).
+    """
+    if not 0 <= index < len(asns):
+        raise IndexError(f"hop index {index} out of range")
+    here = asns[index]
+    if here == UNKNOWN_ASN:
+        return BoundaryVerdict(is_boundary=False, determinate=False)
+    for prev_index in range(index - 1, -1, -1):
+        previous = asns[prev_index]
+        if previous != UNKNOWN_ASN:
+            return BoundaryVerdict(is_boundary=previous != here, determinate=True)
+    # First known hop on the path: not a boundary crossing.
+    return BoundaryVerdict(is_boundary=False, determinate=True)
+
+
+def boundary_fraction(
+    paths: Sequence[Sequence[int]],
+    flagged: Sequence[Sequence[bool]],
+) -> tuple[float, int, int]:
+    """Fraction of *flagged* hops that sit at AS boundaries.
+
+    ``paths`` holds per-path ASN sequences; ``flagged`` parallel
+    booleans marking the hops of interest (e.g. where an ECT mark was
+    first seen stripped).  Returns ``(fraction, boundary_count,
+    determinate_count)``; the fraction is over hops with a determinate
+    verdict, matching the paper's "where we were able to determine the
+    AS" qualifier.
+    """
+    if len(paths) != len(flagged):
+        raise ValueError("paths and flagged must be parallel")
+    boundary = 0
+    determinate = 0
+    for asns, marks in zip(paths, flagged):
+        if len(asns) != len(marks):
+            raise ValueError("per-path ASN and flag lists must be parallel")
+        for index, marked in enumerate(marks):
+            if not marked:
+                continue
+            verdict = classify_hop(asns, index)
+            if verdict.determinate:
+                determinate += 1
+                if verdict.is_boundary:
+                    boundary += 1
+    fraction = boundary / determinate if determinate else 0.0
+    return fraction, boundary, determinate

@@ -1,0 +1,275 @@
+"""Command-line interface: run and report reproduction studies.
+
+Usage (installed as ``ecnudp``, also ``python -m repro``):
+
+* ``ecnudp study --scale 0.1 --seed 7 --out results/`` — build the
+  synthetic Internet, discover the pool, run the trace schedule and
+  the traceroute campaign, write the dataset and print the report.
+* ``ecnudp report --study results/`` — re-analyse a saved study.
+* ``ecnudp discover --scale 0.1`` — run only the DNS discovery phase.
+* ``ecnudp traceroute --scale 0.1 --vantage ec2-virginia --server 0``
+  — print one annotated traceroute.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .core.analysis import (
+    DifferentialAnalysis,
+    analyze_campaign,
+    analyze_correlation,
+    analyze_geography,
+    analyze_reachability,
+    analyze_tcp_ecn,
+)
+from .core.discovery import PoolDiscovery
+from .core.measurement import MeasurementApplication
+from .core.traces import TraceSet, TracerouteCampaign
+from .netsim.ipv4 import format_addr
+from .reporting.export import (
+    export_figure_data,
+    export_summary_json,
+    export_traces_csv,
+)
+from .reporting.report import full_report
+from .scenario.internet import SyntheticInternet
+from .scenario.parameters import default_params, scaled_params
+
+
+def _build_world(scale: float, seed: int) -> SyntheticInternet:
+    params = default_params(seed) if scale >= 1.0 else scaled_params(scale, seed)
+    return SyntheticInternet(params)
+
+
+def _analyses(world: SyntheticInternet, traces: TraceSet, campaign: TracerouteCampaign):
+    geo = analyze_geography(traces.server_addrs, world.geo)
+    reach = analyze_reachability(traces)
+    diff_a = DifferentialAnalysis(traces, "plain-only")
+    diff_b = DifferentialAnalysis(traces, "ect-only")
+    tcp = analyze_tcp_ecn(traces)
+    paths = analyze_campaign(campaign, world.noisy_as_map)
+    corr = analyze_correlation(traces)
+    return geo, reach, diff_a, diff_b, tcp, paths, corr
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    world = _build_world(args.scale, args.seed)
+    print(f"built {world!r}", file=sys.stderr)
+
+    discovery = PoolDiscovery(
+        world.vantage_hosts["ugla-wired"], world.dns_addr, world.pool.zone_names()
+    )
+    report = discovery.run()
+    print(
+        f"discovered {len(report)} servers in {report.sweeps} sweeps",
+        file=sys.stderr,
+    )
+
+    app = MeasurementApplication(world, targets=report.addresses)
+
+    def progress(done: int, total: int, label: str) -> None:
+        print(f"trace {done + 1}/{total} from {label}", file=sys.stderr)
+
+    traces = app.run_study(progress=progress if args.verbose else None)
+    campaign = app.run_traceroutes()
+
+    geo, reach, diff_a, diff_b, tcp, paths, corr = _analyses(world, traces, campaign)
+    text = full_report(geo, reach, diff_a, diff_b, tcp, campaign, paths, corr)
+
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "manifest.json").write_text(
+            json.dumps({"scale": args.scale, "seed": args.seed})
+        )
+        traces.save(out / "traces.json")
+        campaign.save(out / "traceroutes.json")
+        export_summary_json(out / "summary.json", geo, reach, tcp, paths, corr)
+        export_traces_csv(out / "traces.csv", traces)
+        export_figure_data(
+            out / "figures", reach, tcp, diff_a, diff_b, tcp.pct_negotiated
+        )
+        (out / "report.txt").write_text(text + "\n")
+        print(f"study written to {out}/", file=sys.stderr)
+    print(text)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    study = Path(args.study)
+    manifest = json.loads((study / "manifest.json").read_text())
+    world = _build_world(manifest["scale"], manifest["seed"])
+    traces = TraceSet.load(study / "traces.json")
+    campaign = TracerouteCampaign.load(study / "traceroutes.json")
+    geo, reach, diff_a, diff_b, tcp, paths, corr = _analyses(world, traces, campaign)
+    print(full_report(geo, reach, diff_a, diff_b, tcp, campaign, paths, corr))
+    return 0
+
+
+def cmd_discover(args: argparse.Namespace) -> int:
+    world = _build_world(args.scale, args.seed)
+    discovery = PoolDiscovery(
+        world.vantage_hosts["ugla-wired"], world.dns_addr, world.pool.zone_names()
+    )
+    report = discovery.run()
+    print(
+        f"{len(report)} servers discovered over {report.sweeps} sweeps "
+        f"({report.queries_sent} queries, {report.queries_answered} answered)"
+    )
+    for addr in report.addresses[: args.limit]:
+        print(f"  {format_addr(addr)}")
+    if len(report) > args.limit:
+        print(f"  ... and {len(report) - args.limit} more")
+    return 0
+
+
+def cmd_traceroute(args: argparse.Namespace) -> int:
+    from .core.probes import run_traceroute
+
+    world = _build_world(args.scale, args.seed)
+    if args.vantage not in world.vantage_hosts:
+        print(f"unknown vantage {args.vantage!r}; one of: "
+              f"{', '.join(world.vantage_hosts)}", file=sys.stderr)
+        return 2
+    if not 0 <= args.server < len(world.servers):
+        print(f"server index out of range (0..{len(world.servers) - 1})", file=sys.stderr)
+        return 2
+    target = world.servers[args.server]
+    path = run_traceroute(
+        world.vantage_hosts[args.vantage], target.addr, params=world.params.probes
+    )
+    print(f"traceroute to {target.hostname} ({format_addr(target.addr)}) "
+          f"from {args.vantage}, ECT(0)-marked UDP")
+    for hop in path.hops:
+        if not hop.responded:
+            print(f"{hop.ttl:3d}  *")
+            continue
+        mark = "ECT(0) intact" if hop.mark_preserved else "ECN field cleared"
+        rtt = f"{hop.rtt * 1000:.1f} ms" if hop.rtt is not None else "-"
+        print(f"{hop.ttl:3d}  {format_addr(hop.responder):15s}  {rtt:>9s}  {mark}")
+    return 0
+
+
+def cmd_tracebox(args: argparse.Namespace) -> int:
+    from .core.tracebox import FIELD_DSCP, FIELD_ECN, run_tracebox
+    from .netsim.ecn import dscp_from_tos, ecn_from_tos
+
+    world = _build_world(args.scale, args.seed)
+    if args.vantage not in world.vantage_hosts:
+        print(f"unknown vantage {args.vantage!r}", file=sys.stderr)
+        return 2
+    if not 0 <= args.server < len(world.servers):
+        print(f"server index out of range (0..{len(world.servers) - 1})", file=sys.stderr)
+        return 2
+    target = world.servers[args.server]
+    result = run_tracebox(
+        world.vantage_hosts[args.vantage],
+        target.addr,
+        dscp=args.dscp,
+        params=world.params.probes,
+    )
+    print(
+        f"tracebox to {target.hostname} from {args.vantage} "
+        f"(sent DSCP={args.dscp}, ECT(0))"
+    )
+    for hop in result.path.hops:
+        if hop.responder is None or hop.quoted_tos is None:
+            print(f"{hop.ttl:3d}  *")
+            continue
+        ecn = ecn_from_tos(hop.quoted_tos)
+        dscp = dscp_from_tos(hop.quoted_tos)
+        print(
+            f"{hop.ttl:3d}  {format_addr(hop.responder):15s}  "
+            f"quoted DSCP={dscp:<2d} ECN={ecn.describe()}"
+        )
+    print(f"verdict: {result.classify_tos_interference()}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from .core.analysis.uncertainty import headline_intervals
+    from .core.analysis.validation import validate_study
+
+    world = _build_world(args.scale, args.seed)
+    app = MeasurementApplication(world)
+    traces = app.run_study()
+    campaign = app.run_traceroutes()
+
+    print("Headline statistics (bootstrap over traces):")
+    for line in headline_intervals(traces).summary_lines():
+        print(f"  {line}")
+
+    print("\nInference quality vs deployed ground truth:")
+    for quality in validate_study(world, traces, campaign):
+        print(
+            f"  {quality.name:<18} precision={quality.precision:.2f} "
+            f"recall={quality.recall:.2f} f1={quality.f1:.2f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ecnudp",
+        description="Reproduction of 'Is ECN usable with UDP?' (IMC 2015)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    study = sub.add_parser("study", help="run the full measurement study")
+    study.add_argument("--scale", type=float, default=0.1,
+                       help="population scale vs the paper's 2500 servers")
+    study.add_argument("--seed", type=int, default=20150401)
+    study.add_argument("--out", type=str, default=None,
+                       help="directory to write the dataset into")
+    study.add_argument("--verbose", action="store_true")
+    study.set_defaults(func=cmd_study)
+
+    report = sub.add_parser("report", help="re-analyse a saved study")
+    report.add_argument("--study", type=str, required=True)
+    report.set_defaults(func=cmd_report)
+
+    discover = sub.add_parser("discover", help="run pool discovery only")
+    discover.add_argument("--scale", type=float, default=0.1)
+    discover.add_argument("--seed", type=int, default=20150401)
+    discover.add_argument("--limit", type=int, default=20)
+    discover.set_defaults(func=cmd_discover)
+
+    traceroute = sub.add_parser("traceroute", help="print one traceroute")
+    traceroute.add_argument("--scale", type=float, default=0.1)
+    traceroute.add_argument("--seed", type=int, default=20150401)
+    traceroute.add_argument("--vantage", type=str, default="ugla-wired")
+    traceroute.add_argument("--server", type=int, default=0)
+    traceroute.set_defaults(func=cmd_traceroute)
+
+    validate = sub.add_parser(
+        "validate",
+        help="run a study and score its inferences against ground truth",
+    )
+    validate.add_argument("--scale", type=float, default=0.05)
+    validate.add_argument("--seed", type=int, default=20150401)
+    validate.set_defaults(func=cmd_validate)
+
+    tracebox = sub.add_parser(
+        "tracebox", help="per-hop header diff (ECN + DSCP) to one server"
+    )
+    tracebox.add_argument("--scale", type=float, default=0.1)
+    tracebox.add_argument("--seed", type=int, default=20150401)
+    tracebox.add_argument("--vantage", type=str, default="ugla-wired")
+    tracebox.add_argument("--server", type=int, default=0)
+    tracebox.add_argument("--dscp", type=int, default=8)
+    tracebox.set_defaults(func=cmd_tracebox)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

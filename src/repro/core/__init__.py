@@ -1,0 +1,56 @@
+"""The paper's measurement system: discovery, probes, traces, analysis."""
+
+from .capture import (
+    CapturedPacket,
+    PacketCapture,
+    tcp_port_filter,
+    udp_port_filter,
+)
+from .discovery import DiscoveredServer, DiscoveryReport, PoolDiscovery
+from .measurement import MeasurementApplication, PlannedTrace, trace_plan
+from .probes import (
+    ECNUsabilityResult,
+    Traceroute,
+    probe_tcp,
+    probe_tcp_ecn_usability,
+    probe_udp,
+    run_traceroute,
+)
+from .tracebox import FieldChange, TraceboxResult, diff_path, run_tracebox
+from .traces import (
+    HopObservation,
+    PathTrace,
+    ProbeOutcome,
+    Trace,
+    TraceSet,
+    TracerouteCampaign,
+)
+
+__all__ = [
+    "CapturedPacket",
+    "DiscoveredServer",
+    "DiscoveryReport",
+    "ECNUsabilityResult",
+    "FieldChange",
+    "HopObservation",
+    "MeasurementApplication",
+    "PacketCapture",
+    "PathTrace",
+    "PlannedTrace",
+    "PoolDiscovery",
+    "ProbeOutcome",
+    "Trace",
+    "TraceSet",
+    "TraceboxResult",
+    "Traceroute",
+    "TracerouteCampaign",
+    "diff_path",
+    "probe_tcp",
+    "probe_tcp_ecn_usability",
+    "probe_udp",
+    "run_tracebox",
+    "run_traceroute",
+    "tcp_port_filter",
+    "trace_plan",
+    "udp_port_filter",
+]

@@ -1,0 +1,97 @@
+"""Analyses reproducing every table and figure of the paper.
+
+=====================  ==========================================
+Module                 Paper artefact
+=====================  ==========================================
+``geographic``         Table 1, Figure 1
+``reachability``       §4.1 scalars, Figure 2a/2b
+``differential``       Figure 3a/3b
+``pathanalysis``       §4.2 statistics, Figure 4
+``tcp_ecn``            §4.3, Figure 5, Figure 6
+``correlation``        §4.4, Table 2
+=====================  ==========================================
+"""
+
+from .correlation import CorrelationRow, CorrelationTable, analyze_correlation
+from .differential import (
+    DifferentialAnalysis,
+    ServerDifferential,
+    transient_vs_persistent,
+)
+from .geographic import GeographicDistribution, GeoPoint, analyze_geography
+from .pathanalysis import (
+    DOWNSTREAM,
+    PASS,
+    STRIP,
+    ClassifiedHop,
+    PathAnalysis,
+    analyze_campaign,
+    classify_path,
+)
+from .reachability import (
+    ReachabilitySummary,
+    TraceReachability,
+    analyze_reachability,
+    trace_reachability,
+)
+from .regional import RegionalReachability, analyze_regional
+from .uncertainty import HeadlineIntervals, headline_intervals
+from .validation import (
+    InferenceQuality,
+    validate_blocked_server_inference,
+    validate_oddball_inference,
+    validate_strip_location_inference,
+    validate_study,
+)
+from .tcp_ecn import (
+    HISTORICAL_STUDIES,
+    HistoricalStudy,
+    MEASUREMENT_YEAR,
+    TCPECNSummary,
+    TraceTCPReachability,
+    analyze_tcp_ecn,
+    ecn_deployment_series,
+    fit_deployment_trend,
+    trace_tcp_reachability,
+)
+
+__all__ = [
+    "ClassifiedHop",
+    "CorrelationRow",
+    "CorrelationTable",
+    "DOWNSTREAM",
+    "DifferentialAnalysis",
+    "GeoPoint",
+    "GeographicDistribution",
+    "HISTORICAL_STUDIES",
+    "HeadlineIntervals",
+    "HistoricalStudy",
+    "InferenceQuality",
+    "MEASUREMENT_YEAR",
+    "PASS",
+    "PathAnalysis",
+    "ReachabilitySummary",
+    "RegionalReachability",
+    "STRIP",
+    "ServerDifferential",
+    "TCPECNSummary",
+    "TraceReachability",
+    "TraceTCPReachability",
+    "analyze_campaign",
+    "analyze_correlation",
+    "analyze_geography",
+    "analyze_reachability",
+    "analyze_regional",
+    "analyze_tcp_ecn",
+    "classify_path",
+    "ecn_deployment_series",
+    "fit_deployment_trend",
+    "headline_intervals",
+    "trace_reachability",
+    "trace_tcp_reachability",
+    "transient_vs_persistent",
+    "validate_blocked_server_inference",
+    "validate_oddball_inference",
+    "validate_strip_location_inference",
+    "validate_study",
+]

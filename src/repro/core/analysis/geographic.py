@@ -1,0 +1,70 @@
+"""Table 1 / Figure 1: where the discovered servers are.
+
+Runs the discovered addresses through the (synthetic) GeoLite2-style
+database and produces the regional tally of Table 1 and the lat/lon
+point cloud of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ...geo.database import GeoDatabase
+from ...geo.regions import Region
+
+
+@dataclass(frozen=True)
+class GeoPoint:
+    """One locatable server for the Figure 1 map."""
+
+    addr: int
+    latitude: float
+    longitude: float
+    region: Region
+    country_code: str
+
+
+@dataclass
+class GeographicDistribution:
+    """Table 1 plus the Figure 1 point set."""
+
+    region_counts: dict[Region, int]
+    points: list[GeoPoint]
+    total: int
+
+    def table_rows(self) -> list[tuple[str, int]]:
+        """Rows in Table 1's order, ending with the total."""
+        rows = [
+            (region.value, self.region_counts.get(region, 0))
+            for region in Region.ordered()
+        ]
+        rows.append(("Total", self.total))
+        return rows
+
+    def count(self, region: Region) -> int:
+        return self.region_counts.get(region, 0)
+
+
+def analyze_geography(
+    addrs: Sequence[int], database: GeoDatabase
+) -> GeographicDistribution:
+    """Classify ``addrs`` (the discovered servers) by region."""
+    counts: dict[Region, int] = {}
+    points: list[GeoPoint] = []
+    for addr in addrs:
+        record = database.lookup(addr)
+        counts[record.region] = counts.get(record.region, 0) + 1
+        if record.region is not Region.UNKNOWN:
+            points.append(
+                GeoPoint(
+                    addr=addr,
+                    latitude=record.latitude,
+                    longitude=record.longitude,
+                    region=record.region,
+                    country_code=record.country_code,
+                )
+            )
+    return GeographicDistribution(
+        region_counts=counts, points=points, total=len(addrs)
+    )

@@ -1,0 +1,149 @@
+"""Packet capture: the simulated tcpdump.
+
+The paper's methodology records responses "using a parallel tcpdump
+session" rather than trusting the probing client's own view.  A
+:class:`PacketCapture` attaches to a host's tap, decodes every frame
+crossing it, and supports the filters the real sessions used (by
+protocol and port).  Captures also let tests assert wire-level facts,
+e.g. that an ECN-setup SYN really left with ECE and CWR set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ..netsim.ecn import ECN
+from ..netsim.errors import CodecError
+from ..netsim.host import Host
+from ..netsim.icmp import ICMPMessage
+from ..netsim.ipv4 import IPv4Packet, PROTO_ICMP, PROTO_TCP, PROTO_UDP, format_addr
+from ..netsim.udp import UDPDatagram
+from ..tcp.segment import TCPSegment
+
+
+@dataclass(frozen=True)
+class CapturedPacket:
+    """One captured frame plus its decoded transport header."""
+
+    time: float
+    direction: str  # "in" | "out"
+    packet: IPv4Packet
+    udp: UDPDatagram | None = None
+    tcp: TCPSegment | None = None
+    icmp: ICMPMessage | None = None
+
+    @property
+    def ecn(self) -> ECN:
+        return self.packet.ecn
+
+    def summary(self) -> str:
+        """A one-line tcpdump-style rendering."""
+        src = format_addr(self.packet.src)
+        dst = format_addr(self.packet.dst)
+        if self.udp is not None:
+            detail = f"UDP {src}:{self.udp.src_port} > {dst}:{self.udp.dst_port} len={self.udp.length}"
+        elif self.tcp is not None:
+            flags = str(self.tcp).split("flags=")[1].split(",")[0]
+            detail = f"TCP {src}:{self.tcp.src_port} > {dst}:{self.tcp.dst_port} [{flags}]"
+        elif self.icmp is not None:
+            detail = f"ICMP {src} > {dst} type={self.icmp.icmp_type} code={self.icmp.code}"
+        else:
+            detail = f"IP {src} > {dst} proto={self.packet.protocol}"
+        return f"{self.time:.6f} {self.direction:<3} {detail} [{self.ecn.describe()}]"
+
+
+#: Filter predicate over captured packets.
+CaptureFilter = Callable[[CapturedPacket], bool]
+
+
+def udp_port_filter(port: int) -> CaptureFilter:
+    """Match UDP traffic to or from ``port``."""
+
+    def predicate(captured: CapturedPacket) -> bool:
+        return captured.udp is not None and port in (
+            captured.udp.src_port,
+            captured.udp.dst_port,
+        )
+
+    return predicate
+
+
+def tcp_port_filter(port: int) -> CaptureFilter:
+    """Match TCP traffic to or from ``port``."""
+
+    def predicate(captured: CapturedPacket) -> bool:
+        return captured.tcp is not None and port in (
+            captured.tcp.src_port,
+            captured.tcp.dst_port,
+        )
+
+    return predicate
+
+
+class PacketCapture:
+    """A running capture session on one host."""
+
+    def __init__(
+        self,
+        host: Host,
+        capture_filter: CaptureFilter | None = None,
+        max_packets: int | None = None,
+    ) -> None:
+        self.host = host
+        self.filter = capture_filter
+        self.max_packets = max_packets
+        self.packets: list[CapturedPacket] = []
+        self.dropped = 0
+        self._remove = host.add_tap(self._on_packet)
+        self._running = True
+
+    def _on_packet(self, direction: str, packet: IPv4Packet, now: float) -> None:
+        if not self._running:
+            return
+        captured = _decode(direction, packet, now)
+        if self.filter is not None and not self.filter(captured):
+            return
+        if self.max_packets is not None and len(self.packets) >= self.max_packets:
+            self.dropped += 1
+            return
+        self.packets.append(captured)
+
+    def stop(self) -> list[CapturedPacket]:
+        """Stop capturing and return what was recorded."""
+        if self._running:
+            self._running = False
+            self._remove()
+        return self.packets
+
+    def __enter__(self) -> "PacketCapture":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    def __iter__(self):
+        return iter(self.packets)
+
+    def dump(self) -> str:
+        """The whole capture as tcpdump-style text."""
+        return "\n".join(captured.summary() for captured in self.packets)
+
+
+def _decode(direction: str, packet: IPv4Packet, now: float) -> CapturedPacket:
+    udp = tcp = icmp = None
+    try:
+        if packet.protocol == PROTO_UDP:
+            udp = UDPDatagram.decode(packet.payload)
+        elif packet.protocol == PROTO_TCP:
+            tcp = TCPSegment.decode(packet.payload)
+        elif packet.protocol == PROTO_ICMP:
+            icmp = ICMPMessage.decode(packet.payload, verify=False)
+    except CodecError:
+        pass
+    return CapturedPacket(
+        time=now, direction=direction, packet=packet, udp=udp, tcp=tcp, icmp=icmp
+    )

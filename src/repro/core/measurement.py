@@ -1,0 +1,201 @@
+"""The measurement application: traces and traceroute campaigns.
+
+This orchestrates everything §3 describes: for each of the discovered
+servers in turn, probe UDP reachability with not-ECT and ECT(0) marked
+packets, then HTTP over TCP without and with ECN negotiation — that is
+one *trace*.  The full study runs 210 traces across the 13 vantage
+points in two batches (April/May: author homes and the Glasgow
+wireless; July/August: everywhere), with pool churn in between.  A
+separate campaign runs ECT(0) traceroutes from every vantage to every
+server (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..netsim.ecn import ECN
+from ..netsim.host import Host
+from ..scenario.internet import SyntheticInternet
+from ..scenario.parameters import ProbeParams, TraceScheduleParams
+from ..scenario.vantages import VANTAGES
+from .probes import probe_tcp, probe_udp, run_traceroute
+from .traces import PathTrace, ProbeOutcome, Trace, TraceSet, TracerouteCampaign
+
+#: Progress callback: (current step, total steps, label).
+ProgressFn = Callable[[int, int, str], None]
+
+
+@dataclass(frozen=True)
+class PlannedTrace:
+    """One slot in the study schedule."""
+
+    trace_id: int
+    vantage_key: str
+    batch: int
+
+
+def trace_plan(schedule: TraceScheduleParams) -> list[PlannedTrace]:
+    """Distribute the study's traces over vantages and batches.
+
+    Batch 1 covers only the vantages available early (the homes and
+    the Glasgow wireless network, per §3); the remainder is spread
+    round-robin over all thirteen vantages, walking them in the
+    paper's figure order so every location ends up with a similar
+    trace count.
+    """
+    plan: list[PlannedTrace] = []
+    trace_id = 0
+    batch1_vantages = [spec for spec in VANTAGES if spec.in_batch1]
+    for spec in batch1_vantages:
+        for _ in range(schedule.batch1_traces_per_home_vantage):
+            plan.append(PlannedTrace(trace_id, spec.key, batch=1))
+            trace_id += 1
+    remaining = schedule.total_traces - len(plan)
+    if remaining < 0:
+        raise ValueError(
+            "batch-1 traces exceed the study total: "
+            f"{len(plan)} > {schedule.total_traces}"
+        )
+    keys = [spec.key for spec in VANTAGES]
+    for index in range(remaining):
+        plan.append(PlannedTrace(trace_id, keys[index % len(keys)], batch=2))
+        trace_id += 1
+    return plan
+
+
+class MeasurementApplication:
+    """Runs the study against a built synthetic Internet."""
+
+    def __init__(
+        self,
+        world: SyntheticInternet,
+        targets: Sequence[int] | None = None,
+    ) -> None:
+        self.world = world
+        self.probe_params: ProbeParams = world.params.probes
+        #: The probe target list: normally the discovery output; falls
+        #: back to ground truth (every deployed server) when the caller
+        #: skips the discovery phase.
+        self.targets: list[int] = (
+            list(targets) if targets is not None else [s.addr for s in world.servers]
+        )
+
+    # ------------------------------------------------------------------
+    # Single measurements
+    # ------------------------------------------------------------------
+    def measure_server(self, vantage_host: Host, server_addr: int) -> ProbeOutcome:
+        """The four §3 measurements against one server."""
+        probe = self.probe_params
+        udp_plain = probe_udp(
+            vantage_host,
+            server_addr,
+            ECN.NOT_ECT,
+            attempts=probe.ntp_attempts,
+            timeout=probe.ntp_timeout,
+        )
+        udp_ect = probe_udp(
+            vantage_host,
+            server_addr,
+            ECN.ECT_0,
+            attempts=probe.ntp_attempts,
+            timeout=probe.ntp_timeout,
+        )
+        tcp_plain = probe_tcp(
+            vantage_host, server_addr, use_ecn=False, deadline=probe.http_deadline
+        )
+        tcp_ecn = probe_tcp(
+            vantage_host, server_addr, use_ecn=True, deadline=probe.http_deadline
+        )
+        return ProbeOutcome(
+            server_addr=server_addr,
+            udp_plain=udp_plain.responded,
+            udp_ect=udp_ect.responded,
+            udp_plain_attempts=udp_plain.attempts,
+            udp_ect_attempts=udp_ect.attempts,
+            tcp_plain=tcp_plain.ok,
+            tcp_ecn=tcp_ecn.ok,
+            ecn_negotiated=tcp_ecn.ecn_negotiated,
+            http_status=tcp_plain.response.status if tcp_plain.response else None,
+        )
+
+    def run_trace(self, vantage_key: str, trace_id: int, batch: int) -> Trace:
+        """One complete trace: every target, four measurements each."""
+        vantage_host = self.world.vantage_hosts[vantage_key]
+        trace = Trace(
+            trace_id=trace_id,
+            vantage_key=vantage_key,
+            batch=batch,
+            started_at=self.world.network.scheduler.now,
+        )
+        for server_addr in self.targets:
+            trace.add(self.measure_server(vantage_host, server_addr))
+        return trace
+
+    # ------------------------------------------------------------------
+    # The full study
+    # ------------------------------------------------------------------
+    def run_study(self, progress: ProgressFn | None = None) -> TraceSet:
+        """Execute the whole trace schedule, switching batches midway."""
+        plan = trace_plan(self.world.params.schedule)
+        trace_set = TraceSet(
+            server_addrs=list(self.targets),
+            description=(
+                "ECN/UDP reachability study: "
+                f"{len(plan)} traces x {len(self.targets)} servers"
+            ),
+        )
+        scheduler = self.world.network.scheduler
+        current_batch = 0
+        for index, planned in enumerate(plan):
+            if planned.batch != current_batch:
+                current_batch = planned.batch
+                self.world.enter_batch(current_batch)
+            if progress is not None:
+                progress(index, len(plan), planned.vantage_key)
+            trace_set.add(
+                self.run_trace(planned.vantage_key, planned.trace_id, planned.batch)
+            )
+            scheduler.run_until(
+                scheduler.now + self.world.params.schedule.inter_trace_gap
+            )
+        return trace_set
+
+    # ------------------------------------------------------------------
+    # Traceroute campaign (§4.2)
+    # ------------------------------------------------------------------
+    def run_traceroutes(
+        self,
+        vantage_keys: Iterable[str] | None = None,
+        targets: Sequence[int] | None = None,
+        ecn: ECN = ECN.ECT_0,
+        progress: ProgressFn | None = None,
+    ) -> TracerouteCampaign:
+        """ECT(0) traceroutes from each vantage to each target."""
+        keys = list(vantage_keys) if vantage_keys is not None else list(
+            self.world.vantage_hosts
+        )
+        dsts = list(targets) if targets is not None else list(self.targets)
+        campaign = TracerouteCampaign()
+        total = len(keys) * len(dsts)
+        step = 0
+        for key in keys:
+            host = self.world.vantage_hosts[key]
+            for dst in dsts:
+                if progress is not None:
+                    progress(step, total, key)
+                step += 1
+                path = run_traceroute(host, dst, ecn=ecn, params=self.probe_params)
+                # Traceroutes are keyed by vantage key, not hostname;
+                # for vantage hosts the two coincide by construction.
+                campaign.add(
+                    PathTrace(
+                        vantage_key=key,
+                        dst_addr=path.dst_addr,
+                        sent_ecn=path.sent_ecn,
+                        hops=path.hops,
+                        reached_destination=path.reached_destination,
+                    )
+                )
+        return campaign

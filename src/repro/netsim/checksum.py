@@ -1,0 +1,62 @@
+"""Internet checksum (RFC 1071).
+
+Used by the IPv4, UDP, ICMP, and TCP codecs.  The implementation folds
+16-bit words with end-around carry, exactly as deployed routers do, so
+that incremental-update properties hold (e.g. a TTL decrement changes
+the header checksum by a predictable amount — behaviour the traceroute
+analysis relies on when comparing quoted headers).
+"""
+
+from __future__ import annotations
+
+
+def internet_checksum(data: bytes) -> int:
+    """Compute the 16-bit one's-complement Internet checksum of ``data``.
+
+    Odd-length input is implicitly zero-padded on the right, per
+    RFC 1071.  The returned value is the checksum to *place in the
+    header* (i.e. already complemented).
+    """
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = 0
+    # Summing 16-bit big-endian words; deferring the carry fold until
+    # the end is equivalent to end-around carry and much faster.
+    for i in range(0, len(data), 2):
+        total += (data[i] << 8) | data[i + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return (~total) & 0xFFFF
+
+
+def verify_checksum(data: bytes) -> bool:
+    """Return True if ``data`` (including its checksum field) sums to zero.
+
+    A block whose embedded checksum is correct produces an all-ones sum,
+    so the complemented result is zero.
+    """
+    return internet_checksum(data) == 0
+
+
+def pseudo_header(src: int, dst: int, protocol: int, length: int) -> bytes:
+    """Build the IPv4 pseudo-header used by UDP and TCP checksums.
+
+    Parameters are the source/destination addresses as 32-bit ints, the
+    IP protocol number, and the transport segment length in bytes.
+    """
+    return bytes(
+        (
+            (src >> 24) & 0xFF,
+            (src >> 16) & 0xFF,
+            (src >> 8) & 0xFF,
+            src & 0xFF,
+            (dst >> 24) & 0xFF,
+            (dst >> 16) & 0xFF,
+            (dst >> 8) & 0xFF,
+            dst & 0xFF,
+            0,
+            protocol & 0xFF,
+            (length >> 8) & 0xFF,
+            length & 0xFF,
+        )
+    )

@@ -1,0 +1,166 @@
+"""Discrete event engine.
+
+A small, fast, heap-based scheduler.  Events are callbacks bound to a
+simulation time; ties are broken by insertion order so the simulation
+is deterministic.  Cancellation is *lazy*: a cancelled event stays in
+the heap but is skipped when popped, which keeps :meth:`Event.cancel`
+O(1) — important because retransmission timers are cancelled far more
+often than they fire.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from .clock import SimClock
+from .errors import SimulationError
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`EventScheduler.schedule`."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...],
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class EventScheduler:
+    """Heap-based discrete event scheduler driving a :class:`SimClock`.
+
+    The scheduler owns the clock: time only advances when events are
+    dispatched.  Use :meth:`schedule` to enqueue work, then one of the
+    ``run*`` methods to execute it.
+    """
+
+    def __init__(self, clock: SimClock | None = None) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (delegates to the clock)."""
+        return self.clock.now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def dispatched(self) -> int:
+        """Total number of events executed so far."""
+        return self._dispatched
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which may be cancelled before it
+        fires.  ``delay`` must be non-negative.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: delay={delay!r}")
+        event = Event(self.clock.now + delay, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation time ``when``."""
+        return self.schedule(when - self.clock.now, callback, *args)
+
+    def _pop_runnable(self) -> Event | None:
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def step(self) -> bool:
+        """Dispatch the single next event.  Returns False if none remain."""
+        event = self._pop_runnable()
+        if event is None:
+            return False
+        self.clock.advance_to(event.time)
+        self._dispatched += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the event queue drains.
+
+        Parameters
+        ----------
+        max_events:
+            Optional safety valve; raises :class:`SimulationError` if
+            more than this many events are dispatched (useful to catch
+            runaway feedback loops in tests).
+
+        Returns the number of events dispatched by this call.
+        """
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        return count
+
+    def run_until(self, deadline: float) -> int:
+        """Run events with ``time <= deadline``, then advance the clock.
+
+        The clock is left at ``deadline`` even if the queue drained
+        earlier, so timeouts measured against :attr:`now` behave as a
+        caller expects.  Returns the number of events dispatched.
+        """
+        count = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if event.time > deadline:
+                break
+            heapq.heappop(self._heap)
+            self.clock.advance_to(event.time)
+            self._dispatched += 1
+            count += 1
+            event.callback(*event.args)
+        if deadline > self.clock.now:
+            self.clock.advance_to(deadline)
+        return count

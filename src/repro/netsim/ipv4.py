@@ -1,0 +1,213 @@
+"""IPv4 addressing and header codec.
+
+Addresses are 32-bit integers throughout the simulator's hot paths;
+:func:`parse_addr` / :func:`format_addr` convert to and from dotted
+quads at the edges.  The header codec is byte-exact (RFC 791) including
+the header checksum, because the traceroute analysis compares the
+bytes a router quotes inside ICMP errors against the bytes originally
+sent — the core technique of the paper's Section 4.2.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field, replace
+
+from .checksum import internet_checksum
+from .ecn import ECN, ecn_from_tos, replace_ecn
+from .errors import AddressError, CodecError
+
+#: IP protocol numbers used in this project.
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_HEADER = struct.Struct("!BBHHHBBHII")
+HEADER_LEN = _HEADER.size  # 20 — we do not emit IP options
+DEFAULT_TTL = 64
+
+
+def parse_addr(text: str) -> int:
+    """Parse a dotted-quad IPv4 address into a 32-bit integer."""
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"bad octet {part!r} in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def format_addr(addr: int) -> str:
+    """Format a 32-bit integer as a dotted-quad IPv4 address."""
+    if not 0 <= addr <= 0xFFFFFFFF:
+        raise AddressError(f"address out of range: {addr!r}")
+    return f"{(addr >> 24) & 0xFF}.{(addr >> 16) & 0xFF}.{(addr >> 8) & 0xFF}.{addr & 0xFF}"
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """An IPv4 prefix (network address plus mask length)."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise AddressError(f"prefix length out of range: {self.length}")
+        mask = self.mask
+        if self.network & ~mask & 0xFFFFFFFF:
+            raise AddressError(
+                f"host bits set in prefix {format_addr(self.network)}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` notation."""
+        try:
+            net_text, len_text = text.split("/")
+        except ValueError as exc:
+            raise AddressError(f"not a prefix: {text!r}") from exc
+        return cls(parse_addr(net_text), int(len_text))
+
+    @property
+    def mask(self) -> int:
+        """Network mask as a 32-bit integer."""
+        if self.length == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (32 - self.length)
+
+    def contains(self, addr: int) -> bool:
+        """True if ``addr`` falls inside this prefix."""
+        return (addr & self.mask) == self.network
+
+    def host(self, index: int) -> int:
+        """Return the ``index``-th address inside the prefix."""
+        if not 0 <= index < self.size:
+            raise AddressError(f"host index {index} outside /{self.length}")
+        return self.network + index
+
+    def __str__(self) -> str:
+        return f"{format_addr(self.network)}/{self.length}"
+
+
+@dataclass
+class IPv4Packet:
+    """A parsed IPv4 datagram.
+
+    The simulator moves these objects between nodes; the byte form is
+    produced on demand (capture, ICMP quotation) via :meth:`encode`.
+    ``ident`` mirrors the IP identification field, which the probing
+    code uses to correlate ICMP quotations with the probes that
+    elicited them.
+    """
+
+    src: int
+    dst: int
+    protocol: int
+    payload: bytes = b""
+    ttl: int = DEFAULT_TTL
+    tos: int = 0
+    ident: int = 0
+    dont_fragment: bool = True
+
+    @property
+    def ecn(self) -> ECN:
+        """ECN codepoint carried in the TOS byte."""
+        return ecn_from_tos(self.tos)
+
+    def with_ecn(self, ecn: ECN) -> "IPv4Packet":
+        """Return a copy with the ECN field rewritten (DSCP preserved)."""
+        return replace(self, tos=replace_ecn(self.tos, ecn))
+
+    @property
+    def total_length(self) -> int:
+        """Total datagram length (header + payload), in bytes."""
+        return HEADER_LEN + len(self.payload)
+
+    def encode(self) -> bytes:
+        """Serialise to wire format with a correct header checksum."""
+        if not 0 <= self.ttl <= 255:
+            raise CodecError(f"TTL out of range: {self.ttl}")
+        if not 0 <= self.ident <= 0xFFFF:
+            raise CodecError(f"IP ident out of range: {self.ident}")
+        flags_frag = 0x4000 if self.dont_fragment else 0
+        header = _HEADER.pack(
+            (4 << 4) | (HEADER_LEN // 4),
+            self.tos,
+            self.total_length,
+            self.ident,
+            flags_frag,
+            self.ttl,
+            self.protocol,
+            0,
+            self.src,
+            self.dst,
+        )
+        csum = internet_checksum(header)
+        header = header[:10] + struct.pack("!H", csum) + header[12:]
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, data: bytes, verify: bool = True) -> "IPv4Packet":
+        """Parse wire bytes into a packet.
+
+        Parameters
+        ----------
+        data:
+            The datagram, possibly truncated *after* the header (ICMP
+            quotations frequently truncate the transport payload; the
+            header itself must be complete).
+        verify:
+            When True, a wrong header checksum raises
+            :class:`CodecError`.
+        """
+        if len(data) < HEADER_LEN:
+            raise CodecError(f"IPv4 header truncated: {len(data)} bytes")
+        (
+            ver_ihl,
+            tos,
+            total_length,
+            ident,
+            flags_frag,
+            ttl,
+            protocol,
+            csum,
+            src,
+            dst,
+        ) = _HEADER.unpack_from(data)
+        if ver_ihl >> 4 != 4:
+            raise CodecError(f"not IPv4: version={ver_ihl >> 4}")
+        ihl = (ver_ihl & 0xF) * 4
+        if ihl < HEADER_LEN or len(data) < ihl:
+            raise CodecError(f"bad IHL: {ihl}")
+        if verify and internet_checksum(data[:ihl]) != 0:
+            raise CodecError("IPv4 header checksum mismatch")
+        payload = data[ihl : total_length if total_length >= ihl else None]
+        return cls(
+            src=src,
+            dst=dst,
+            protocol=protocol,
+            payload=payload,
+            ttl=ttl,
+            tos=tos,
+            ident=ident,
+            dont_fragment=bool(flags_frag & 0x4000),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"IPv4Packet({format_addr(self.src)} -> {format_addr(self.dst)}, "
+            f"proto={self.protocol}, ttl={self.ttl}, ecn={self.ecn.describe()}, "
+            f"len={self.total_length})"
+        )

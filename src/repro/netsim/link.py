@@ -1,0 +1,102 @@
+"""Unidirectional links between routers.
+
+A link contributes propagation delay (plus optional jitter), a loss
+model, and an AQM behaviour.  Links are unidirectional so asymmetric
+paths — and asymmetric impairments, such as a congested upstream on a
+home ADSL line — can be modelled; :func:`link_pair` builds the common
+symmetric case.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+
+from .ecn import ECN
+from .ipv4 import IPv4Packet
+from .queues import AQMDecision, AQMModel, LossModel, NoCongestion, NoLoss
+
+
+@dataclass
+class LinkOutcome:
+    """Result of offering one packet to a link."""
+
+    delivered: bool
+    packet: IPv4Packet
+    delay: float
+    reason: str = ""
+
+
+@dataclass
+class Link:
+    """A unidirectional link from ``src`` router to ``dst`` router.
+
+    ``delay`` is the one-way propagation delay in seconds; ``jitter``
+    adds a uniform random component in ``[0, jitter]``.  ``loss`` and
+    ``aqm`` supply the impairment behaviour; both default to clean.
+    """
+
+    src: str
+    dst: str
+    delay: float = 0.005
+    jitter: float = 0.0
+    loss: LossModel = field(default_factory=NoLoss)
+    aqm: AQMModel = field(default_factory=NoCongestion)
+
+    def transit(self, packet: IPv4Packet, rng: random.Random) -> LinkOutcome:
+        """Sample the fate of ``packet`` crossing this link.
+
+        Order of operations matches a real egress interface: the AQM
+        inspects the packet as it is enqueued (possibly dropping or
+        CE-marking it), then the wire may lose it.  A CE mark rewrites
+        only the ECN bits, preserving DSCP (RFC 3168).
+        """
+        sample_delay = self.delay
+        if self.jitter > 0:
+            sample_delay += rng.random() * self.jitter
+
+        decision = self.aqm.sample(rng, packet.ecn.is_ect)
+        if decision == AQMDecision.DROP:
+            return LinkOutcome(False, packet, sample_delay, reason="aqm-drop")
+        if decision == AQMDecision.MARK:
+            packet = packet.with_ecn(ECN.CE)
+
+        if self.loss.sample_loss(rng):
+            return LinkOutcome(False, packet, sample_delay, reason="loss")
+        return LinkOutcome(True, packet, sample_delay)
+
+    def __repr__(self) -> str:
+        return f"Link({self.src} -> {self.dst}, delay={self.delay * 1000:.1f}ms)"
+
+
+def link_pair(
+    a: str,
+    b: str,
+    delay: float = 0.005,
+    jitter: float = 0.0,
+    loss: LossModel | None = None,
+    aqm: AQMModel | None = None,
+    reverse_loss: LossModel | None = None,
+    reverse_aqm: AQMModel | None = None,
+) -> tuple[Link, Link]:
+    """Build the two directions of a symmetric link.
+
+    Distinct loss/AQM objects are used per direction (stateful models
+    such as Gilbert-Elliott must not share state across directions);
+    pass ``reverse_*`` to make the directions differ.
+    """
+    forward = Link(
+        a,
+        b,
+        delay=delay,
+        jitter=jitter,
+        loss=loss if loss is not None else NoLoss(),
+        aqm=aqm if aqm is not None else NoCongestion(),
+    )
+    if reverse_loss is None:
+        reverse_loss = copy.deepcopy(loss) if loss is not None else NoLoss()
+    if reverse_aqm is None:
+        reverse_aqm = copy.deepcopy(aqm) if aqm is not None else NoCongestion()
+    backward = Link(b, a, delay=delay, jitter=jitter, loss=reverse_loss, aqm=reverse_aqm)
+    return forward, backward

@@ -1,0 +1,177 @@
+"""Middlebox behaviours that interfere with ECN.
+
+The paper's central question is whether middleboxes treat ECT-marked
+UDP as suspicious.  Each behaviour observed (or hypothesised) in the
+paper is a small policy object attached to a router:
+
+* :class:`ECTBleacher` — rewrites ECT(0)/ECT(1) back to not-ECT but
+  forwards the packet.  Section 4.2 finds ~1143 of 155 439 hops doing
+  this, 125 of them only *sometimes* (``probability < 1``).
+* :class:`ECTDropper` — silently discards ECT-marked packets, for UDP
+  only or for all protocols.  Section 4.1's dozen persistently
+  ECT-unreachable servers sit behind UDP-scoped instances; Section 4.4
+  shows most of those still pass ECT-marked **TCP**, which is exactly
+  the ``protocols={PROTO_UDP}`` scoping.
+* :class:`NotECTDropper` — the oddballs of Figure 3b: servers
+  reachable with ECT(0) but not with not-ECT packets (two of them,
+  run by the Phoenix Public Library, only from EC2 source addresses —
+  expressed with ``src_prefixes``).
+* :class:`TOSBleacher` — zeroes the whole TOS byte (DSCP + ECN), a
+  behaviour older "TOS-washing" gear exhibits.
+
+Every policy filters on protocol, destination addresses and source
+prefixes, so scenario code can scope interference to specific servers
+or vantage points, matching the paper's per-path observations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+from typing import Iterable
+
+from .ecn import ECN
+from .ipv4 import IPv4Packet, Prefix, PROTO_TCP, PROTO_UDP
+
+#: Verdict constants returned by :meth:`Middlebox.process`.
+FORWARD = "forward"
+DROP = "drop"
+
+
+@dataclass
+class Verdict:
+    """Result of passing a packet through one middlebox."""
+
+    action: str
+    packet: IPv4Packet
+    reason: str = ""
+
+    @property
+    def dropped(self) -> bool:
+        return self.action == DROP
+
+
+@dataclass
+class Middlebox:
+    """Base middlebox: match conditions plus an action hook.
+
+    Subclasses override :meth:`apply`; this base class handles scoping.
+    ``probability`` makes the behaviour intermittent (route-flap or
+    load-balancer effects in the paper's "sometimes strip" hops).
+    """
+
+    name: str = "middlebox"
+    protocols: frozenset[int] | None = None
+    dst_addrs: frozenset[int] | None = None
+    src_prefixes: tuple[Prefix, ...] | None = None
+    probability: float = 1.0
+
+    def matches(self, packet: IPv4Packet) -> bool:
+        """True if the packet is in scope for this policy."""
+        if self.protocols is not None and packet.protocol not in self.protocols:
+            return False
+        if self.dst_addrs is not None and packet.dst not in self.dst_addrs:
+            return False
+        if self.src_prefixes is not None and not any(
+            prefix.contains(packet.src) for prefix in self.src_prefixes
+        ):
+            return False
+        return True
+
+    def process(self, packet: IPv4Packet, rng: random.Random) -> Verdict:
+        """Apply the policy (subject to scope and probability)."""
+        if not self.matches(packet):
+            return Verdict(FORWARD, packet)
+        if self.probability < 1.0 and rng.random() >= self.probability:
+            return Verdict(FORWARD, packet)
+        return self.apply(packet)
+
+    def apply(self, packet: IPv4Packet) -> Verdict:
+        raise NotImplementedError
+
+
+@dataclass
+class ECTBleacher(Middlebox):
+    """Rewrite ECT(0)/ECT(1)/CE to not-ECT; forward the packet."""
+
+    name: str = "ect-bleacher"
+
+    def apply(self, packet: IPv4Packet) -> Verdict:
+        if packet.ecn is ECN.NOT_ECT:
+            return Verdict(FORWARD, packet)
+        return Verdict(
+            FORWARD,
+            packet.with_ecn(ECN.NOT_ECT),
+            reason="ECN field bleached to not-ECT",
+        )
+
+
+@dataclass
+class ECTDropper(Middlebox):
+    """Silently drop packets carrying any ECT/CE codepoint."""
+
+    name: str = "ect-dropper"
+
+    def apply(self, packet: IPv4Packet) -> Verdict:
+        if packet.ecn is ECN.NOT_ECT:
+            return Verdict(FORWARD, packet)
+        return Verdict(DROP, packet, reason="ECT-marked packet dropped")
+
+
+@dataclass
+class NotECTDropper(Middlebox):
+    """Drop packets whose ECN field is not-ECT (the Figure 3b oddity)."""
+
+    name: str = "not-ect-dropper"
+
+    def apply(self, packet: IPv4Packet) -> Verdict:
+        if packet.ecn is not ECN.NOT_ECT:
+            return Verdict(FORWARD, packet)
+        return Verdict(DROP, packet, reason="not-ECT packet dropped")
+
+
+@dataclass
+class TOSBleacher(Middlebox):
+    """Zero the entire TOS byte (clears DSCP and ECN together)."""
+
+    name: str = "tos-bleacher"
+
+    def apply(self, packet: IPv4Packet) -> Verdict:
+        if packet.tos == 0:
+            return Verdict(FORWARD, packet)
+        cleaned = dataclasses.replace(packet, tos=0)
+        return Verdict(FORWARD, cleaned, reason="TOS byte zeroed")
+
+
+def udp_ect_firewall(
+    dst_addrs: Iterable[int],
+    name: str = "udp-ect-firewall",
+    probability: float = 1.0,
+) -> ECTDropper:
+    """A destination-scoped firewall dropping ECT-marked **UDP** only.
+
+    This is the paper's inferred explanation for servers reachable with
+    not-ECT UDP but never with ECT(0) UDP, while still negotiating ECN
+    over TCP (Section 4.4).
+    """
+    return ECTDropper(
+        name=name,
+        protocols=frozenset({PROTO_UDP}),
+        dst_addrs=frozenset(dst_addrs),
+        probability=probability,
+    )
+
+
+def any_ect_firewall(
+    dst_addrs: Iterable[int],
+    name: str = "any-ect-firewall",
+    probability: float = 1.0,
+) -> ECTDropper:
+    """A destination-scoped firewall dropping ECT marks on UDP and TCP."""
+    return ECTDropper(
+        name=name,
+        protocols=frozenset({PROTO_UDP, PROTO_TCP}),
+        dst_addrs=frozenset(dst_addrs),
+        probability=probability,
+    )

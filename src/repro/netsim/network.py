@@ -1,0 +1,308 @@
+"""The network: moves packets across a topology under an event engine.
+
+Two execution modes share identical per-hop semantics (router
+middleboxes, TTL, link AQM/loss — see :mod:`repro.netsim.router` and
+:mod:`repro.netsim.link`):
+
+* ``"event"`` — every hop is a scheduled event.  Faithful queue-level
+  interleaving; right for protocol unit tests and small scenarios.
+* ``"fast"`` — the whole path is evaluated analytically when the packet
+  is sent, and a single delivery event is scheduled.  Per-hop sampling
+  (loss, AQM, middleboxes, TTL) is exactly the same code; only the
+  event bookkeeping is folded.  This is what makes probing 2500
+  servers from 13 vantage points tractable in pure Python.
+
+ICMP errors generated mid-path (TTL expiry — the traceroute mechanism)
+are routed back to the original source along the reverse path, subject
+to that path's loss, because real traceroutes lose ICMP responses too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .ecn import ECN
+from .engine import EventScheduler
+from .errors import NetSimError, RoutingError
+from .host import Host
+from .ipv4 import IPv4Packet, PROTO_ICMP, format_addr
+from .link import Link
+from .queues import AQMDecision, NoCongestion, NoLoss
+from .router import HOP_DROP, HOP_FORWARD, HOP_TTL_EXPIRED, Router
+from .routing import RoutingTable
+from .topology import Topology
+
+FAST = "fast"
+EVENT = "event"
+
+
+@dataclass
+class NetworkCounters:
+    """Aggregate statistics, mostly for tests and sanity reports."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_middlebox: int = 0
+    dropped_loss: int = 0
+    dropped_aqm: int = 0
+    dropped_no_route: int = 0
+    dropped_host_filter: int = 0
+    ttl_expired: int = 0
+    icmp_generated: int = 0
+    by_reason: dict[str, int] = field(default_factory=dict)
+
+    def note(self, reason: str) -> None:
+        self.by_reason[reason] = self.by_reason.get(reason, 0) + 1
+
+
+class Network:
+    """Binds a topology, a routing table, and an event scheduler."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        scheduler: EventScheduler | None = None,
+        seed: int = 0,
+        mode: str = FAST,
+    ) -> None:
+        if mode not in (FAST, EVENT):
+            raise NetSimError(f"unknown network mode {mode!r}")
+        topology.validate()
+        self.topology = topology
+        self.scheduler = scheduler if scheduler is not None else EventScheduler()
+        self.routing = RoutingTable(topology.graph)
+        self.rng = random.Random(seed)
+        self.mode = mode
+        self.counters = NetworkCounters()
+        self._hop_cache: dict[tuple[str, str], tuple[tuple[Router, Link], ...]] = {}
+        for index, host in enumerate(topology.hosts.values()):
+            host.attach(self, rng_seed=seed ^ (0x9E3779B1 * (index + 1) & 0xFFFFFFFF))
+
+    # ------------------------------------------------------------------
+    # Path plumbing
+    # ------------------------------------------------------------------
+    def hops_between(self, src_router: str, dst_router: str) -> tuple[tuple[Router, Link], ...]:
+        """Cached ``(router, egress_link)`` hop sequence, destination
+        access router included as a final entry with ``link=None``."""
+        key = (src_router, dst_router)
+        cached = self._hop_cache.get(key)
+        if cached is not None:
+            return cached
+        nodes = self.routing.path(src_router, dst_router)
+        graph = self.topology.graph
+        routers = self.topology.routers
+        hops = []
+        for here, there in zip(nodes, nodes[1:]):
+            hops.append((routers[here], graph.edges[here, there]["link"]))
+        hops.append((routers[nodes[-1]], None))
+        result = tuple(hops)
+        self._hop_cache[key] = result
+        return result
+
+    def invalidate_routes(self) -> None:
+        """Drop cached routes/hops after a topology change."""
+        self.routing.invalidate()
+        self._hop_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, packet: IPv4Packet, src_host: Host) -> None:
+        """Inject a packet from ``src_host`` into the network."""
+        self.counters.sent += 1
+        dst_router = self.topology.router_for_addr(packet.dst)
+        if dst_router is None:
+            self.counters.dropped_no_route += 1
+            self.counters.note("no-route")
+            return
+        try:
+            hops = self.hops_between(src_host.router_id, dst_router)
+        except RoutingError:
+            self.counters.dropped_no_route += 1
+            self.counters.note("no-route")
+            return
+        survived, packet, access_delay = self._cross_access(
+            src_host, packet, outbound=True
+        )
+        if not survived:
+            return
+        if self.mode == FAST:
+            self._send_fast(packet, src_host, hops, access_delay)
+        else:
+            self.scheduler.schedule(
+                access_delay, self._send_event, packet, src_host, hops, 0, access_delay
+            ) if access_delay > 0 else self._send_event(
+                packet, src_host, hops, index=0, elapsed=0.0
+            )
+
+    def _cross_access(
+        self, host: Host, packet: IPv4Packet, outbound: bool
+    ) -> tuple[bool, IPv4Packet, float]:
+        """Sample a host's access link; returns (survived, packet, delay)."""
+        access = host.access
+        if access.upstream_aqm is not None and outbound:
+            decision = access.upstream_aqm.sample(self.rng, packet.ecn.is_ect)
+            if decision == AQMDecision.DROP:
+                self.counters.dropped_aqm += 1
+                self.counters.note("access-aqm-drop")
+                return False, packet, access.delay
+            if decision == AQMDecision.MARK:
+                packet = packet.with_ecn(ECN.CE)
+        if access.loss is not None and access.loss.sample_loss(self.rng):
+            self.counters.dropped_loss += 1
+            self.counters.note("access-loss")
+            return False, packet, access.delay
+        return True, packet, access.delay
+
+    # ------------------------------------------------------------------
+    # Fast mode: fold the whole path at send time
+    # ------------------------------------------------------------------
+    def _send_fast(
+        self,
+        packet: IPv4Packet,
+        src_host: Host,
+        hops: tuple[tuple[Router, Link], ...],
+        access_delay: float = 0.0,
+    ) -> None:
+        rng = self.rng
+        elapsed = access_delay
+        for router, link in hops:
+            result = router.process_transit(packet, rng)
+            if result.verdict == HOP_DROP:
+                self.counters.dropped_middlebox += 1
+                self.counters.note(result.reason)
+                return
+            if result.verdict == HOP_TTL_EXPIRED:
+                self.counters.ttl_expired += 1
+                if result.icmp is not None:
+                    self._return_icmp(router, result.icmp, packet, src_host, elapsed)
+                return
+            packet = result.packet
+            if link is None:
+                break
+            outcome = link.transit(packet, rng)
+            elapsed += outcome.delay
+            if not outcome.delivered:
+                if outcome.reason == "aqm-drop":
+                    self.counters.dropped_aqm += 1
+                else:
+                    self.counters.dropped_loss += 1
+                self.counters.note(outcome.reason)
+                return
+            packet = outcome.packet
+        self._deliver_to_host(packet, elapsed)
+
+    # ------------------------------------------------------------------
+    # Event mode: one event per hop
+    # ------------------------------------------------------------------
+    def _send_event(
+        self,
+        packet: IPv4Packet,
+        src_host: Host,
+        hops: tuple[tuple[Router, Link], ...],
+        index: int,
+        elapsed: float,
+    ) -> None:
+        rng = self.rng
+        router, link = hops[index]
+        result = router.process_transit(packet, rng)
+        if result.verdict == HOP_DROP:
+            self.counters.dropped_middlebox += 1
+            self.counters.note(result.reason)
+            return
+        if result.verdict == HOP_TTL_EXPIRED:
+            self.counters.ttl_expired += 1
+            if result.icmp is not None:
+                # The clock already advanced by the forward delay in
+                # event mode; only the return path remains.
+                self._return_icmp(router, result.icmp, packet, src_host, 0.0)
+            return
+        packet = result.packet
+        if link is None:
+            self._deliver_to_host(packet, 0.0)
+            return
+        outcome = link.transit(packet, rng)
+        if not outcome.delivered:
+            if outcome.reason == "aqm-drop":
+                self.counters.dropped_aqm += 1
+            else:
+                self.counters.dropped_loss += 1
+            self.counters.note(outcome.reason)
+            return
+        self.scheduler.schedule(
+            outcome.delay,
+            self._send_event,
+            outcome.packet,
+            src_host,
+            hops,
+            index + 1,
+            elapsed + outcome.delay,
+        )
+
+    # ------------------------------------------------------------------
+    # Delivery and ICMP return
+    # ------------------------------------------------------------------
+    def _deliver_to_host(self, packet: IPv4Packet, delay: float) -> None:
+        host = self.topology.host_by_addr(packet.dst)
+        if host is None:
+            self.counters.dropped_no_route += 1
+            self.counters.note("no-host")
+            return
+        survived, packet, access_delay = self._cross_access(host, packet, outbound=False)
+        if not survived:
+            return
+        delay += access_delay
+        self.counters.delivered += 1
+        self.scheduler.schedule(delay, host.deliver, packet, self.scheduler.now + delay)
+
+    def _return_icmp(
+        self,
+        origin: Router,
+        icmp,
+        original: IPv4Packet,
+        src_host: Host,
+        forward_elapsed: float,
+    ) -> None:
+        """Route an ICMP error from ``origin`` back to the prober.
+
+        The reverse path contributes its propagation delays and loss
+        sampling; middlebox chains and AQM are not re-applied to ICMP
+        (errors are small, rarely policed by the behaviours we model,
+        and never ECT-marked).
+        """
+        self.counters.icmp_generated += 1
+        reply = IPv4Packet(
+            src=origin.interface_addr,
+            dst=original.src,
+            protocol=PROTO_ICMP,
+            payload=icmp.encode(),
+        )
+        try:
+            nodes = self.routing.path(origin.router_id, src_host.router_id)
+        except RoutingError:
+            self.counters.note("icmp-no-return-route")
+            return
+        rng = self.rng
+        graph = self.topology.graph
+        elapsed = forward_elapsed
+        for here, there in zip(nodes, nodes[1:]):
+            link: Link = graph.edges[here, there]["link"]
+            elapsed += link.delay + (rng.random() * link.jitter if link.jitter > 0 else 0.0)
+            if link.loss.sample_loss(rng):
+                self.counters.note("icmp-return-loss")
+                return
+        survived, reply, access_delay = self._cross_access(src_host, reply, outbound=False)
+        if not survived:
+            self.counters.note("icmp-return-loss")
+            return
+        elapsed += access_delay
+        self.scheduler.schedule(
+            max(elapsed, 0.0),
+            src_host.deliver,
+            reply,
+            self.scheduler.now + max(elapsed, 0.0),
+        )
+
+    def __repr__(self) -> str:
+        return f"Network(mode={self.mode}, {self.topology!r})"

@@ -1,0 +1,110 @@
+"""Routers: per-hop packet processing.
+
+A router applies its middlebox chain, enforces TTL, and (optionally)
+originates ICMP errors.  The per-hop logic is a pure function of
+(router state, packet, RNG) so the same code runs under the hop-by-hop
+event engine and the analytic fast path — keeping the two execution
+modes behaviourally identical is a core design requirement (see
+DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+
+from .icmp import CLASSIC_QUOTE_PAYLOAD, ICMPMessage, time_exceeded
+from .ipv4 import IPv4Packet
+from .middlebox import Middlebox
+
+#: Hop verdicts returned by :meth:`Router.process_transit`.
+HOP_FORWARD = "forward"
+HOP_DROP = "drop"
+HOP_TTL_EXPIRED = "ttl-expired"
+
+
+@dataclass
+class HopResult:
+    """Outcome of one router's transit processing.
+
+    ``icmp`` is the error message the router originates (None when it
+    does not respond, e.g. ICMP rate-limited or suppressed routers —
+    the reason traceroutes show missing hops).
+    """
+
+    verdict: str
+    packet: IPv4Packet
+    icmp: ICMPMessage | None = None
+    reason: str = ""
+
+
+@dataclass
+class Router:
+    """A router (or layer-3 middlebox host) in the topology.
+
+    Parameters
+    ----------
+    router_id:
+        Unique name within the topology.
+    asn:
+        Autonomous system the router belongs to (drives the paper's
+        AS-boundary analysis of where ECT marks are stripped).
+    interface_addr:
+        The address this router sources ICMP errors from; also the
+        address a traceroute shows for this hop.
+    middleboxes:
+        Policy chain applied to transit packets, in order.
+    sends_icmp_errors:
+        False models routers/firewalls that silently discard expired
+        packets; traceroute sees a missing hop.
+    icmp_quote_payload:
+        How many payload bytes past the IP header this router quotes
+        in ICMP errors (8 = RFC 792 classic; larger = RFC 1812-style).
+    icmp_response_rate:
+        Probability of answering a TTL expiry (models ICMP rate
+        limiting, which makes real traceroutes lossy).
+    """
+
+    router_id: str
+    asn: int
+    interface_addr: int
+    middleboxes: list[Middlebox] = field(default_factory=list)
+    sends_icmp_errors: bool = True
+    icmp_quote_payload: int = CLASSIC_QUOTE_PAYLOAD
+    icmp_response_rate: float = 1.0
+
+    def add_middlebox(self, box: Middlebox) -> None:
+        """Append a policy to the transit chain."""
+        self.middleboxes.append(box)
+
+    def process_transit(self, packet: IPv4Packet, rng: random.Random) -> HopResult:
+        """Process a packet transiting this router.
+
+        Order: middlebox chain first (a firewall in front of the
+        routing engine), then TTL check, then decrement.  The ICMP
+        quotation is built from the packet *after* middlebox rewrites,
+        so an upstream bleached mark is visible in the quote — exactly
+        the observable the paper's Section 4.2 measures.
+        """
+        for box in self.middleboxes:
+            verdict = box.process(packet, rng)
+            if verdict.dropped:
+                return HopResult(HOP_DROP, packet, reason=f"{box.name}: {verdict.reason}")
+            packet = verdict.packet
+
+        if packet.ttl <= 1:
+            icmp = None
+            if self.sends_icmp_errors and (
+                self.icmp_response_rate >= 1.0
+                or rng.random() < self.icmp_response_rate
+            ):
+                expired = dataclasses.replace(packet, ttl=0)
+                icmp = time_exceeded(expired, self.icmp_quote_payload)
+            return HopResult(HOP_TTL_EXPIRED, packet, icmp=icmp, reason="ttl expired")
+
+        packet = dataclasses.replace(packet, ttl=packet.ttl - 1)
+        return HopResult(HOP_FORWARD, packet)
+
+    def __repr__(self) -> str:
+        return f"Router({self.router_id}, AS{self.asn})"

@@ -1,0 +1,128 @@
+"""Static route computation over the router graph.
+
+Routes are shortest paths (hop count, with optional link weights)
+computed once after the topology is built.  Paths are cached per
+(source router, destination router) pair; the measurement harness
+probes the same 2500 destinations from 13 vantage routers repeatedly,
+so caching makes the difference between minutes and hours.
+
+A :class:`PrefixTrie` provides longest-prefix matching from a
+destination address to its attached router; the same structure backs
+the IP→AS mapping in :mod:`repro.asmap`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator
+
+import networkx as nx
+
+from .errors import RoutingError
+from .ipv4 import Prefix, format_addr
+
+
+class PrefixTrie:
+    """Binary trie mapping IPv4 prefixes to arbitrary values.
+
+    Longest-prefix match semantics, as in a router FIB.  Lookups walk
+    at most 32 bits; insertion is O(prefix length).
+    """
+
+    __slots__ = ("_root",)
+
+    def __init__(self) -> None:
+        # Node layout: [zero-child, one-child, value-or-sentinel]
+        self._root: list = [None, None, _MISSING]
+
+    def insert(self, prefix: Prefix, value) -> None:
+        """Map ``prefix`` to ``value`` (replacing any previous value)."""
+        node = self._root
+        for bit_index in range(prefix.length):
+            bit = (prefix.network >> (31 - bit_index)) & 1
+            if node[bit] is None:
+                node[bit] = [None, None, _MISSING]
+            node = node[bit]
+        node[2] = value
+
+    def lookup(self, addr: int):
+        """Return the value of the longest prefix containing ``addr``.
+
+        Raises :class:`KeyError` if no prefix matches; use
+        :meth:`lookup_default` for a non-raising variant.
+        """
+        node = self._root
+        best = _MISSING
+        for bit_index in range(32):
+            if node[2] is not _MISSING:
+                best = node[2]
+            child = node[(addr >> (31 - bit_index)) & 1]
+            if child is None:
+                break
+            node = child
+        else:
+            if node[2] is not _MISSING:
+                best = node[2]
+        if best is _MISSING:
+            raise KeyError(format_addr(addr))
+        return best
+
+    def lookup_default(self, addr: int, default=None):
+        """Longest-prefix match returning ``default`` when none matches."""
+        try:
+            return self.lookup(addr)
+        except KeyError:
+            return default
+
+
+_MISSING = object()
+
+
+class RoutingTable:
+    """Shortest-path routing over a topology's router graph.
+
+    Parameters
+    ----------
+    graph:
+        ``networkx.DiGraph`` whose nodes are router ids and whose edges
+        carry the :class:`~repro.netsim.link.Link` objects under the
+        ``"link"`` attribute and an optional ``"weight"``.
+    """
+
+    def __init__(self, graph: nx.DiGraph) -> None:
+        self._graph = graph
+        self._path_cache: dict[tuple[Hashable, Hashable], tuple[Hashable, ...]] = {}
+
+    def path(self, src: Hashable, dst: Hashable) -> tuple[Hashable, ...]:
+        """Router-id sequence from ``src`` to ``dst`` inclusive.
+
+        Deterministic (ties broken by node order via Dijkstra's heap)
+        and cached.  Raises :class:`RoutingError` if disconnected.
+        """
+        if src == dst:
+            return (src,)
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            nodes = nx.shortest_path(self._graph, src, dst, weight="weight")
+        except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
+            raise RoutingError(f"no route from {src!r} to {dst!r}") from exc
+        result = tuple(nodes)
+        self._path_cache[key] = result
+        return result
+
+    def hops(self, src: Hashable, dst: Hashable) -> Iterator[tuple[Hashable, object]]:
+        """Yield ``(router_id, egress_link)`` pairs along the path.
+
+        The final router is the destination's access router; its egress
+        link is the host attachment and is not included here (host
+        delivery is the network's job).
+        """
+        nodes = self.path(src, dst)
+        for here, there in zip(nodes, nodes[1:]):
+            yield here, self._graph.edges[here, there]["link"]
+
+    def invalidate(self) -> None:
+        """Drop all cached paths (call after topology changes)."""
+        self._path_cache.clear()

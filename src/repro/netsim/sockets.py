@@ -1,0 +1,80 @@
+"""Socket-style endpoint API for simulated hosts.
+
+The measurement application is written against these the way the real
+one was written against Berkeley sockets: a UDP socket with a receive
+callback, per-packet control of the TOS byte (the ``IP_TOS`` sockopt
+the authors used to set ECT(0)), and a raw escape hatch for the
+TTL-limited traceroute probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from .ecn import ECN, tos_byte
+from .errors import SocketError
+from .ipv4 import DEFAULT_TTL, IPv4Packet, PROTO_UDP
+from .udp import UDPDatagram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .host import Host
+
+#: Receive callback signature: (datagram, ip_packet, sim_time).
+UDPHandler = Callable[[UDPDatagram, IPv4Packet, float], None]
+
+EPHEMERAL_BASE = 49152
+EPHEMERAL_LIMIT = 65535
+
+
+@dataclass
+class UDPSocket:
+    """A bound UDP endpoint on a simulated host."""
+
+    host: "Host"
+    port: int
+    handler: UDPHandler | None = None
+    closed: bool = False
+
+    def send(
+        self,
+        dst_addr: int,
+        dst_port: int,
+        payload: bytes,
+        ecn: ECN = ECN.NOT_ECT,
+        dscp: int = 0,
+        ttl: int = DEFAULT_TTL,
+        ident: int = 0,
+    ) -> IPv4Packet:
+        """Send a datagram; returns the IP packet handed to the network.
+
+        ``ecn`` and ``dscp`` set the TOS byte exactly as the real
+        client's ``setsockopt(IP_TOS)`` did; ``ttl`` and ``ident``
+        support the traceroute probes.
+        """
+        if self.closed:
+            raise SocketError(f"socket on port {self.port} is closed")
+        datagram = UDPDatagram(src_port=self.port, dst_port=dst_port, payload=payload)
+        packet = IPv4Packet(
+            src=self.host.addr,
+            dst=dst_addr,
+            protocol=PROTO_UDP,
+            payload=datagram.encode(self.host.addr, dst_addr),
+            ttl=ttl,
+            tos=tos_byte(dscp, ecn),
+            ident=ident,
+        )
+        self.host.send_ip(packet)
+        return packet
+
+    def deliver(self, datagram: UDPDatagram, packet: IPv4Packet, now: float) -> None:
+        """Called by the host demux when a datagram arrives."""
+        if self.closed or self.handler is None:
+            return
+        self.handler(datagram, packet, now)
+
+    def close(self) -> None:
+        """Release the port binding.  Idempotent."""
+        if not self.closed:
+            self.closed = True
+            self.host.release_udp_port(self.port)

@@ -1,0 +1,1 @@
+"""Application protocols running over the simulated network."""

@@ -1,0 +1,34 @@
+"""DNS: message codec, round-robin authoritative server, stub resolver."""
+
+from .message import (
+    DNS_PORT,
+    DNSMessage,
+    QCLASS_IN,
+    QTYPE_A,
+    Question,
+    RCODE_NOERROR,
+    RCODE_NXDOMAIN,
+    ResourceRecord,
+    decode_name,
+    encode_name,
+)
+from .resolver import LookupResult, Resolver
+from .server import DEFAULT_WINDOW, DNSServer, RoundRobinZone
+
+__all__ = [
+    "DEFAULT_WINDOW",
+    "DNSMessage",
+    "DNSServer",
+    "DNS_PORT",
+    "LookupResult",
+    "QCLASS_IN",
+    "QTYPE_A",
+    "Question",
+    "RCODE_NOERROR",
+    "RCODE_NXDOMAIN",
+    "Resolver",
+    "ResourceRecord",
+    "RoundRobinZone",
+    "decode_name",
+    "encode_name",
+]

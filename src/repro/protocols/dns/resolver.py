@@ -1,0 +1,127 @@
+"""Stub resolver used by the discovery script and measurement hosts.
+
+Queries can be sent with any ECN marking: §3 of the paper notes DNS
+servers "could also be used" as the study population, and the
+DNS-variant example probes resolvers with not-ECT and ECT(0) marked
+queries exactly as the NTP study does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ...netsim.ecn import ECN
+from ...netsim.engine import Event
+from ...netsim.errors import CodecError
+from ...netsim.host import Host
+from ...netsim.ipv4 import IPv4Packet
+from ...netsim.udp import UDPDatagram
+from .message import DNS_PORT, DNSMessage, QTYPE_A, RCODE_NOERROR
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one A lookup."""
+
+    qname: str
+    addresses: list[int]
+    responded: bool
+    rcode: int | None = None
+
+
+LookupCallback = Callable[[LookupResult], None]
+
+
+class Resolver:
+    """An asynchronous stub resolver bound to one upstream server."""
+
+    def __init__(
+        self,
+        host: Host,
+        server_addr: int,
+        timeout: float = 2.0,
+        retries: int = 2,
+        ecn: ECN = ECN.NOT_ECT,
+    ) -> None:
+        self.host = host
+        self.server_addr = server_addr
+        self.timeout = timeout
+        self.retries = retries
+        self.ecn = ecn
+        self._next_ident = 1
+
+    def lookup(self, qname: str, callback: LookupCallback) -> None:
+        """Resolve ``qname`` (A records); the callback always fires."""
+        _PendingLookup(self, qname, callback).start()
+
+
+class _PendingLookup:
+    """One lookup with retry; self-contained socket + timer lifecycle."""
+
+    def __init__(self, resolver: Resolver, qname: str, callback: LookupCallback) -> None:
+        self.resolver = resolver
+        self.qname = qname
+        self.callback = callback
+        self.attempts = 0
+        self.finished = False
+        self._timer: Event | None = None
+        self.ident = resolver._next_ident
+        resolver._next_ident = (resolver._next_ident + 1) & 0xFFFF or 1
+        self._socket = resolver.host.udp_bind(None, self._on_datagram)
+
+    def start(self) -> None:
+        self._send()
+
+    def _send(self) -> None:
+        self.attempts += 1
+        query = DNSMessage.query(self.ident, self.qname, QTYPE_A)
+        self._socket.send(
+            self.resolver.server_addr,
+            DNS_PORT,
+            query.encode(),
+            ecn=self.resolver.ecn,
+        )
+        self._timer = self.resolver.host.network.scheduler.schedule(
+            self.resolver.timeout, self._on_timeout
+        )
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if self.finished:
+            return
+        if self.attempts > self.resolver.retries:
+            self._finish(LookupResult(self.qname, [], responded=False))
+            return
+        self._send()
+
+    def _on_datagram(self, datagram: UDPDatagram, packet: IPv4Packet, now: float) -> None:
+        if self.finished or packet.src != self.resolver.server_addr:
+            return
+        try:
+            message = DNSMessage.decode(datagram.payload)
+        except CodecError:
+            return
+        if not message.is_response or message.ident != self.ident:
+            return
+        addresses = [
+            record.address
+            for record in message.answers
+            if record.rtype == QTYPE_A and record.address is not None
+        ]
+        self._finish(
+            LookupResult(
+                self.qname,
+                addresses,
+                responded=True,
+                rcode=message.rcode,
+            )
+        )
+
+    def _finish(self, result: LookupResult) -> None:
+        self.finished = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        self._socket.close()
+        self.callback(result)

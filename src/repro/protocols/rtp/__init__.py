@@ -1,0 +1,34 @@
+"""RTP over UDP with RFC 6679-style ECN feedback and a NADA controller.
+
+The paper's motivating application (§1-2): interactive media that
+negotiates ECN at session setup, validates that ECT-marked UDP
+actually arrives, and feeds CE marks into congestion control.
+"""
+
+from .nada import LOSS_PENALTY_MS, MARK_PENALTY_MS, NADAController
+from .packet import ECNFeedback, RTPPacket, RTP_HEADER_LEN
+from .session import (
+    ECN_ACTIVE,
+    ECN_DISABLED,
+    ECN_PROBING,
+    RTPReceiver,
+    RTPSender,
+    SenderStats,
+    run_media_session,
+)
+
+__all__ = [
+    "ECNFeedback",
+    "ECN_ACTIVE",
+    "ECN_DISABLED",
+    "ECN_PROBING",
+    "LOSS_PENALTY_MS",
+    "MARK_PENALTY_MS",
+    "NADAController",
+    "RTPPacket",
+    "RTPReceiver",
+    "RTPSender",
+    "RTP_HEADER_LEN",
+    "SenderStats",
+    "run_media_session",
+]

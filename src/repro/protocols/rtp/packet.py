@@ -1,0 +1,139 @@
+"""RTP packet and ECN feedback codecs.
+
+The paper's motivation (§1-2) is interactive media: WebRTC carries RTP
+over UDP, and RFC 6679 defines how receivers feed ECN information back
+so congestion controllers like NADA can react to CE marks instead of
+losses.  This module provides:
+
+* a byte-exact RTP header codec (RFC 3550 §5.1, no CSRC/extensions);
+* an *ECN feedback report* modelled on RFC 6679's RTCP ECN feedback:
+  per-SSRC counts of packets received with each ECN codepoint, plus
+  the extended highest sequence number and a lost-packet count.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ...netsim.errors import CodecError
+
+RTP_VERSION = 2
+
+_RTP_HEADER = struct.Struct("!BBHII")
+RTP_HEADER_LEN = _RTP_HEADER.size  # 12
+
+_FEEDBACK = struct.Struct("!4sIIIIIIII")
+FEEDBACK_MAGIC = b"ECNF"
+FEEDBACK_LEN = _FEEDBACK.size
+
+
+@dataclass
+class RTPPacket:
+    """An RTP data packet (header + payload)."""
+
+    payload_type: int
+    sequence: int
+    timestamp: int
+    ssrc: int
+    payload: bytes = b""
+    marker: bool = False
+
+    def encode(self) -> bytes:
+        """Serialise to RFC 3550 wire format."""
+        if not 0 <= self.payload_type <= 0x7F:
+            raise CodecError(f"payload type out of range: {self.payload_type}")
+        first = RTP_VERSION << 6  # no padding, no extension, no CSRC
+        second = (0x80 if self.marker else 0) | self.payload_type
+        return (
+            _RTP_HEADER.pack(
+                first,
+                second,
+                self.sequence & 0xFFFF,
+                self.timestamp & 0xFFFFFFFF,
+                self.ssrc & 0xFFFFFFFF,
+            )
+            + self.payload
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "RTPPacket":
+        """Parse wire bytes."""
+        if len(data) < RTP_HEADER_LEN:
+            raise CodecError(f"RTP header truncated: {len(data)} bytes")
+        first, second, sequence, timestamp, ssrc = _RTP_HEADER.unpack_from(data)
+        if first >> 6 != RTP_VERSION:
+            raise CodecError(f"not RTPv2: version={first >> 6}")
+        if first & 0x0F:
+            raise CodecError("CSRC lists are not supported")
+        return cls(
+            payload_type=second & 0x7F,
+            marker=bool(second & 0x80),
+            sequence=sequence,
+            timestamp=timestamp,
+            ssrc=ssrc,
+            payload=data[RTP_HEADER_LEN:],
+        )
+
+
+@dataclass
+class ECNFeedback:
+    """RFC 6679-style ECN feedback: what the receiver saw, by codepoint.
+
+    ``ect0``/``ect1``/``ce``/``not_ect`` count *received* packets by the
+    ECN field of their IP header; ``lost`` is the receiver's loss
+    estimate (gaps in the sequence space); ``highest_seq`` the extended
+    highest sequence received.  The sender derives marking and loss
+    ratios from deltas between consecutive reports.
+    """
+
+    ssrc: int
+    ect0: int = 0
+    ect1: int = 0
+    ce: int = 0
+    not_ect: int = 0
+    lost: int = 0
+    highest_seq: int = 0
+    report_seq: int = 0
+
+    def encode(self) -> bytes:
+        return _FEEDBACK.pack(
+            FEEDBACK_MAGIC,
+            self.ssrc & 0xFFFFFFFF,
+            self.ect0,
+            self.ect1,
+            self.ce,
+            self.not_ect,
+            self.lost,
+            self.highest_seq,
+            self.report_seq,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ECNFeedback":
+        if len(data) < FEEDBACK_LEN:
+            raise CodecError(f"ECN feedback truncated: {len(data)} bytes")
+        magic, ssrc, ect0, ect1, ce, not_ect, lost, highest, report_seq = (
+            _FEEDBACK.unpack_from(data)
+        )
+        if magic != FEEDBACK_MAGIC:
+            raise CodecError(f"bad feedback magic: {magic!r}")
+        return cls(
+            ssrc=ssrc,
+            ect0=ect0,
+            ect1=ect1,
+            ce=ce,
+            not_ect=not_ect,
+            lost=lost,
+            highest_seq=highest,
+            report_seq=report_seq,
+        )
+
+    @property
+    def received_total(self) -> int:
+        return self.ect0 + self.ect1 + self.ce + self.not_ect
+
+    @property
+    def ect_delivered(self) -> int:
+        """Packets that arrived still carrying an ECT/CE codepoint."""
+        return self.ect0 + self.ect1 + self.ce

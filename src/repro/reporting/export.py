@@ -1,0 +1,183 @@
+"""Machine-readable exports of study results (JSON / CSV).
+
+The paper archives its dataset at a DOI; these helpers serve the same
+role for reproduced studies — everything needed to re-run the analyses
+without re-running the measurement.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from ..core.analysis.correlation import CorrelationTable
+from ..core.analysis.geographic import GeographicDistribution
+from ..core.analysis.pathanalysis import PathAnalysis
+from ..core.analysis.reachability import ReachabilitySummary
+from ..core.analysis.tcp_ecn import TCPECNSummary
+from ..core.traces import TraceSet
+
+
+def export_summary_json(
+    path: str | Path,
+    geo: GeographicDistribution,
+    reachability: ReachabilitySummary,
+    tcp: TCPECNSummary,
+    paths: PathAnalysis,
+    correlation: CorrelationTable,
+) -> dict:
+    """Write the headline numbers of every experiment; returns the dict."""
+    fraction, boundary, determinate = paths.boundary_strip_fraction()
+    payload = {
+        "table1": {
+            "regions": {name: count for name, count in geo.table_rows()[:-1]},
+            "total": geo.total,
+        },
+        "section_4_1": {
+            "avg_udp_plain_reachable": reachability.avg_udp_plain,
+            "avg_pct_ect_given_plain": reachability.avg_pct_ect_given_plain,
+            "avg_pct_plain_given_ect": reachability.avg_pct_plain_given_ect,
+            "min_pct_ect_given_plain": reachability.min_pct_ect_given_plain,
+            "batch_avg_reachable": {
+                str(batch): value
+                for batch, value in reachability.batch_avg_reachable().items()
+            },
+        },
+        "section_4_2": {
+            "hops_measured": paths.hops_measured,
+            "hops_passing": paths.hops_passing,
+            "pct_hops_passing": paths.pct_hops_passing,
+            "strip_events": paths.strip_events,
+            "strip_locations": len(paths.strip_locations()),
+            "sometimes_strip_locations": len(paths.sometimes_strip_locations()),
+            "boundary_fraction": fraction,
+            "ases_observed": len(paths.ases_observed()),
+        },
+        "section_4_3": {
+            "avg_tcp_reachable": tcp.avg_tcp_reachable,
+            "avg_ecn_negotiated": tcp.avg_ecn_negotiated,
+            "pct_negotiated": tcp.pct_negotiated,
+        },
+        "table2": [
+            {
+                "vantage": row.vantage_key,
+                "avg_udp_ect_unreachable": row.avg_udp_ect_unreachable,
+                "avg_fail_tcp_ecn": row.avg_fail_tcp_ecn,
+                "avg_negotiate_tcp_ecn": row.avg_negotiate_tcp_ecn,
+            }
+            for row in correlation.rows
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+    return payload
+
+
+def export_figure_data(
+    directory: str | Path,
+    reachability: ReachabilitySummary,
+    tcp: TCPECNSummary,
+    differential_a,
+    differential_b,
+    measured_pct_negotiated: float,
+) -> list[Path]:
+    """Write per-figure CSVs for external plotting tools.
+
+    Produces ``figure2.csv`` (per-trace percentages), ``figure3a.csv``
+    / ``figure3b.csv`` (per-vantage per-server differential fractions)
+    and ``figure6.csv`` (the deployment time series including the
+    measured point).  Returns the written paths.
+    """
+    from ..core.analysis.tcp_ecn import ecn_deployment_series
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    figure2 = directory / "figure2.csv"
+    with open(figure2, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ("trace_id", "vantage", "batch", "pct_2a", "pct_2b", "tcp_reachable", "ecn_negotiated")
+        )
+        tcp_by_id = {t.trace_id: t for t in tcp.per_trace}
+        for record in reachability.per_trace:
+            tcp_record = tcp_by_id.get(record.trace_id)
+            writer.writerow(
+                (
+                    record.trace_id,
+                    record.vantage_key,
+                    record.batch,
+                    f"{record.pct_ect_given_plain:.4f}" if record.pct_ect_given_plain is not None else "",
+                    f"{record.pct_plain_given_ect:.4f}" if record.pct_plain_given_ect is not None else "",
+                    tcp_record.tcp_reachable if tcp_record else "",
+                    tcp_record.ecn_negotiated if tcp_record else "",
+                )
+            )
+    written.append(figure2)
+
+    for name, analysis in (("figure3a", differential_a), ("figure3b", differential_b)):
+        path = directory / f"{name}.csv"
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(("vantage", "server_addr", "fraction"))
+            for vantage_key in analysis.vantage_keys:
+                fractions = analysis.fractions_for_vantage(vantage_key)
+                for addr, fraction in zip(analysis.server_addrs, fractions):
+                    writer.writerow((vantage_key, addr, f"{fraction:.4f}"))
+        written.append(path)
+
+    figure6 = directory / "figure6.csv"
+    with open(figure6, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(("year", "pct_negotiated", "study"))
+        for point in ecn_deployment_series(measured_pct_negotiated):
+            writer.writerow((point.year, point.pct_negotiated, point.label))
+    written.append(figure6)
+    return written
+
+
+def export_traces_csv(path: str | Path, trace_set: TraceSet) -> int:
+    """Flatten a trace set to CSV (one row per server per trace).
+
+    Returns the number of data rows written.
+    """
+    rows = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            (
+                "trace_id",
+                "vantage",
+                "batch",
+                "server_addr",
+                "udp_plain",
+                "udp_ect",
+                "udp_plain_attempts",
+                "udp_ect_attempts",
+                "tcp_plain",
+                "tcp_ecn",
+                "ecn_negotiated",
+                "http_status",
+            )
+        )
+        for trace in trace_set:
+            for outcome in trace.outcomes.values():
+                writer.writerow(
+                    (
+                        trace.trace_id,
+                        trace.vantage_key,
+                        trace.batch,
+                        outcome.server_addr,
+                        int(outcome.udp_plain),
+                        int(outcome.udp_ect),
+                        outcome.udp_plain_attempts,
+                        outcome.udp_ect_attempts,
+                        int(outcome.tcp_plain),
+                        int(outcome.tcp_ecn),
+                        int(outcome.ecn_negotiated),
+                        outcome.http_status if outcome.http_status is not None else "",
+                    )
+                )
+                rows += 1
+    return rows

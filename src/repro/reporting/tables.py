@@ -1,0 +1,46 @@
+"""Plain-text table rendering for the reproduced paper tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    align_right: Sequence[int] = (),
+) -> str:
+    """Render an ASCII table.
+
+    ``align_right`` lists column indices to right-align (numbers);
+    everything else is left-aligned.
+    """
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    right = set(align_right)
+
+    def line(row: Sequence[str]) -> str:
+        parts = []
+        for index, cell in enumerate(row):
+            if index in right:
+                parts.append(cell.rjust(widths[index]))
+            else:
+                parts.append(cell.ljust(widths[index]))
+        return "  ".join(parts).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(cells[0]))
+    out.append(separator)
+    out.extend(line(row) for row in cells[1:])
+    return "\n".join(out)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,33 @@
+"""Calibrated synthetic-Internet scenarios (the substitution substrate)."""
+
+from .internet import ASInfo, GroundTruth, ServerInfo, SyntheticInternet
+from .parameters import (
+    MiddleboxParams,
+    ProbeParams,
+    ScenarioParams,
+    ServerParams,
+    TopologyParams,
+    TraceScheduleParams,
+    default_params,
+    scaled_params,
+)
+from .vantages import VANTAGES, VantageSpec, ec2_vantages, vantage_by_key
+
+__all__ = [
+    "ASInfo",
+    "GroundTruth",
+    "MiddleboxParams",
+    "ProbeParams",
+    "ScenarioParams",
+    "ServerInfo",
+    "ServerParams",
+    "SyntheticInternet",
+    "TopologyParams",
+    "TraceScheduleParams",
+    "VANTAGES",
+    "VantageSpec",
+    "default_params",
+    "ec2_vantages",
+    "scaled_params",
+    "vantage_by_key",
+]

@@ -1,0 +1,114 @@
+"""Deployment helpers: addressing, country selection, behaviour mixes.
+
+These are the small, testable pieces the :mod:`repro.scenario.internet`
+builder composes: a region-aware address allocator, weighted country
+choice, per-server access impairments, and the ECN-policy mix for the
+co-located web servers.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..geo.regions import Country, Region, countries_in_region
+from ..netsim.errors import TopologyError
+from ..netsim.ipv4 import Prefix
+from ..netsim.queues import BernoulliLoss
+from ..tcp.connection import ECNServerPolicy
+from .parameters import ServerParams
+
+#: First /8 of each region's address pool.  Values are spaced so a
+#: region can spill into following /8s without colliding.
+REGION_BASE_OCTET: dict[Region, int] = {
+    Region.EUROPE: 62,
+    Region.NORTH_AMERICA: 24,
+    Region.ASIA: 101,
+    Region.AUSTRALIA: 110,
+    Region.SOUTH_AMERICA: 131,
+    Region.AFRICA: 141,
+    Region.UNKNOWN: 151,
+}
+
+#: How many consecutive /8s each region may use.
+REGION_POOL_SPAN = 8
+
+
+class AddressAllocator:
+    """Hands out /16 prefixes from per-region address pools.
+
+    Keeping regions in disjoint /8 ranges makes addresses legible in
+    debug output and lets tests assert region membership from the
+    address alone.
+    """
+
+    def __init__(self) -> None:
+        self._next_slot: dict[Region, int] = {region: 0 for region in REGION_BASE_OCTET}
+
+    def allocate(self, region: Region) -> Prefix:
+        """Allocate the next unused /16 in ``region``'s pool."""
+        slot = self._next_slot[region]
+        if slot >= 256 * REGION_POOL_SPAN:
+            raise TopologyError(f"address pool exhausted for {region.value}")
+        self._next_slot[region] = slot + 1
+        first_octet = REGION_BASE_OCTET[region] + slot // 256
+        second_octet = slot % 256
+        return Prefix((first_octet << 24) | (second_octet << 16), 16)
+
+
+def choose_country(rng: random.Random, region: Region) -> Country:
+    """Pick a country within ``region``, weighted by pool share."""
+    countries = countries_in_region(region)
+    if not countries:
+        raise ValueError(f"no countries configured for {region.value}")
+    weights = [country.weight for country in countries]
+    return rng.choices(countries, weights=weights, k=1)[0]
+
+
+def server_access_loss(rng: random.Random, params: ServerParams) -> BernoulliLoss:
+    """Per-server access-link loss (volunteer DSL/colo mix).
+
+    Exponentially distributed around the mean, capped: most servers are
+    clean, a tail is fairly lossy — which is what produces the paper's
+    transiently unreachable servers.
+    """
+    rate = min(rng.expovariate(1.0 / params.access_loss_mean), params.access_loss_max)
+    return BernoulliLoss(rate)
+
+
+def web_server_policy_mix(
+    rng: random.Random, params: ServerParams, count: int
+) -> list[ECNServerPolicy]:
+    """ECN policies for ``count`` web servers, in random order.
+
+    The NEGOTIATE share is the paper's 82.0 %; small REFLECT and
+    DROP_ECN_SYN shares model the broken implementations earlier
+    studies (Langley 2008) observed.
+    """
+    negotiate = round(count * params.ecn_negotiate_fraction)
+    reflect = round(count * params.ecn_reflect_fraction)
+    drop_syn = round(count * params.ecn_drop_syn_fraction)
+    ignore = count - negotiate - reflect - drop_syn
+    if ignore < 0:
+        raise ValueError("ECN policy fractions exceed 1.0")
+    policies = (
+        [ECNServerPolicy.NEGOTIATE] * negotiate
+        + [ECNServerPolicy.REFLECT] * reflect
+        + [ECNServerPolicy.DROP_ECN_SYN] * drop_syn
+        + [ECNServerPolicy.IGNORE] * ignore
+    )
+    rng.shuffle(policies)
+    return policies
+
+
+def interleave_regions(region_counts: dict[Region, int]) -> list[Region]:
+    """Region assignment sequence for transit ASes.
+
+    Orders regions by weight so that, for any transit count, bigger
+    regions get transits first and every region with servers
+    eventually gets one.
+    """
+    ordered = sorted(
+        (region for region, count in region_counts.items() if count > 0),
+        key=lambda region: -region_counts[region],
+    )
+    return ordered

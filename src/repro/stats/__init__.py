@@ -1,0 +1,23 @@
+"""Statistics helpers: summaries, bootstrap CIs, trend fits."""
+
+from .summaries import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    mean,
+    median,
+    percentile,
+    stdev,
+)
+from .timeseries import LogisticFit, fit_logistic, linear_trend
+
+__all__ = [
+    "ConfidenceInterval",
+    "LogisticFit",
+    "bootstrap_ci",
+    "fit_logistic",
+    "linear_trend",
+    "mean",
+    "median",
+    "percentile",
+    "stdev",
+]

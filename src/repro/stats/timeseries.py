@@ -1,0 +1,110 @@
+"""Trend fitting for the Figure 6 deployment time series.
+
+ECN server-side deployment over 2000-2015 looks like classic
+S-curve technology adoption; a logistic fit lets tests check the
+paper's qualitative claim that the 2015 measurement lies "on a growth
+curve ... in line with previous results".  The fit is a plain grid +
+Gauss-Newton refinement over two parameters (midpoint and rate) with a
+fixed ceiling, avoiding a scipy dependency in the core path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class LogisticFit:
+    """A fitted curve ``ceiling / (1 + exp(-rate * (t - midpoint)))``."""
+
+    ceiling: float
+    midpoint: float
+    rate: float
+    rmse: float
+
+    def predict(self, t: float) -> float:
+        """Value of the fitted curve at time ``t``."""
+        return self.ceiling / (1.0 + math.exp(-self.rate * (t - self.midpoint)))
+
+    def residual(self, t: float, observed: float) -> float:
+        """Observed minus predicted."""
+        return observed - self.predict(t)
+
+
+def fit_logistic(
+    times: Sequence[float],
+    values: Sequence[float],
+    ceiling: float = 100.0,
+) -> LogisticFit:
+    """Least-squares logistic fit with a fixed ceiling.
+
+    A coarse grid search over (midpoint, rate) followed by local
+    refinement; robust for the handful of points Figure 6 has, and
+    fully deterministic.
+    """
+    if len(times) != len(values):
+        raise ValueError("times and values must be parallel")
+    if len(times) < 3:
+        raise ValueError("need at least three points to fit a logistic")
+
+    t_low, t_high = min(times), max(times)
+    span = max(t_high - t_low, 1.0)
+
+    def cost(midpoint: float, rate: float) -> float:
+        total = 0.0
+        for t, v in zip(times, values):
+            predicted = ceiling / (1.0 + math.exp(-rate * (t - midpoint)))
+            total += (v - predicted) ** 2
+        return total
+
+    best = (t_low + span, 0.5)
+    best_cost = cost(*best)
+    # Coarse grid.
+    for i in range(41):
+        midpoint = t_low + span * (i / 40.0) * 2.0
+        for j in range(1, 41):
+            rate = 0.02 * j
+            c = cost(midpoint, rate)
+            if c < best_cost:
+                best, best_cost = (midpoint, rate), c
+    # Local refinement by coordinate descent.
+    midpoint, rate = best
+    step_m, step_r = span / 40.0, 0.02
+    for _ in range(60):
+        improved = False
+        for dm, dr in ((step_m, 0), (-step_m, 0), (0, step_r), (0, -step_r)):
+            c = cost(midpoint + dm, rate + dr)
+            if c < best_cost and rate + dr > 0:
+                midpoint += dm
+                rate += dr
+                best_cost = c
+                improved = True
+        if not improved:
+            step_m /= 2
+            step_r /= 2
+            if step_m < 1e-4 and step_r < 1e-5:
+                break
+    return LogisticFit(
+        ceiling=ceiling,
+        midpoint=midpoint,
+        rate=rate,
+        rmse=math.sqrt(best_cost / len(times)),
+    )
+
+
+def linear_trend(times: Sequence[float], values: Sequence[float]) -> tuple[float, float]:
+    """Ordinary least-squares line; returns (slope, intercept)."""
+    if len(times) != len(values):
+        raise ValueError("times and values must be parallel")
+    if len(times) < 2:
+        raise ValueError("need at least two points for a line")
+    n = len(times)
+    mean_t = sum(times) / n
+    mean_v = sum(values) / n
+    denom = sum((t - mean_t) ** 2 for t in times)
+    if denom == 0:
+        raise ValueError("degenerate time axis")
+    slope = sum((t - mean_t) * (v - mean_v) for t, v in zip(times, values)) / denom
+    return slope, mean_v - slope * mean_t

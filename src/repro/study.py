@@ -1,0 +1,203 @@
+"""One-object façade over the whole reproduction pipeline.
+
+:class:`Study` wires together the synthetic Internet, discovery, the
+measurement application, both campaigns, and every analysis, so that
+downstream code gets the paper in three lines::
+
+    from repro.study import Study
+
+    study = Study.run(scale=0.1, seed=7)
+    print(study.report())
+
+A study can be archived with :meth:`save` and re-hydrated with
+:meth:`load` (the world is rebuilt deterministically from the saved
+manifest, exactly as the ``ecnudp report`` command does).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .core.analysis.correlation import CorrelationTable, analyze_correlation
+from .core.analysis.differential import DifferentialAnalysis
+from .core.analysis.geographic import GeographicDistribution, analyze_geography
+from .core.analysis.pathanalysis import PathAnalysis, analyze_campaign
+from .core.analysis.reachability import ReachabilitySummary, analyze_reachability
+from .core.analysis.regional import RegionalReachability, analyze_regional
+from .core.analysis.tcp_ecn import TCPECNSummary, analyze_tcp_ecn
+from .core.analysis.uncertainty import HeadlineIntervals, headline_intervals
+from .core.analysis.validation import InferenceQuality, validate_study
+from .core.discovery import PoolDiscovery
+from .core.measurement import MeasurementApplication
+from .core.traces import TraceSet, TracerouteCampaign
+from .reporting.export import (
+    export_figure_data,
+    export_summary_json,
+    export_traces_csv,
+)
+from .reporting.report import full_report
+from .scenario.internet import SyntheticInternet
+from .scenario.parameters import default_params, scaled_params
+
+
+@dataclass
+class Study:
+    """A completed measurement study plus lazily computed analyses."""
+
+    world: SyntheticInternet
+    traces: TraceSet
+    campaign: TracerouteCampaign
+    scale: float
+    seed: int
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def run(
+        cls,
+        scale: float = 0.1,
+        seed: int = 20150401,
+        discover: bool = True,
+        traceroutes: bool = True,
+    ) -> "Study":
+        """Execute the full §3 methodology at the given scale."""
+        params = default_params(seed) if scale >= 1.0 else scaled_params(scale, seed)
+        world = SyntheticInternet(params)
+        targets = None
+        if discover:
+            report = PoolDiscovery(
+                world.vantage_hosts["ugla-wired"],
+                world.dns_addr,
+                world.pool.zone_names(),
+            ).run()
+            targets = report.addresses
+        app = MeasurementApplication(world, targets=targets)
+        traces = app.run_study()
+        campaign = (
+            app.run_traceroutes() if traceroutes else TracerouteCampaign()
+        )
+        return cls(
+            world=world, traces=traces, campaign=campaign, scale=scale, seed=seed
+        )
+
+    # ------------------------------------------------------------------
+    # Analyses (cached)
+    # ------------------------------------------------------------------
+    def _cached(self, key: str, build):
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
+
+    @property
+    def geography(self) -> GeographicDistribution:
+        return self._cached(
+            "geo", lambda: analyze_geography(self.traces.server_addrs, self.world.geo)
+        )
+
+    @property
+    def reachability(self) -> ReachabilitySummary:
+        return self._cached("reach", lambda: analyze_reachability(self.traces))
+
+    @property
+    def tcp_ecn(self) -> TCPECNSummary:
+        return self._cached("tcp", lambda: analyze_tcp_ecn(self.traces))
+
+    @property
+    def differential_plain_only(self) -> DifferentialAnalysis:
+        return self._cached(
+            "diff_a", lambda: DifferentialAnalysis(self.traces, "plain-only")
+        )
+
+    @property
+    def differential_ect_only(self) -> DifferentialAnalysis:
+        return self._cached(
+            "diff_b", lambda: DifferentialAnalysis(self.traces, "ect-only")
+        )
+
+    @property
+    def paths(self) -> PathAnalysis:
+        return self._cached(
+            "paths", lambda: analyze_campaign(self.campaign, self.world.noisy_as_map)
+        )
+
+    @property
+    def correlation(self) -> CorrelationTable:
+        return self._cached("corr", lambda: analyze_correlation(self.traces))
+
+    @property
+    def regional(self) -> list[RegionalReachability]:
+        return self._cached(
+            "regional", lambda: analyze_regional(self.traces, self.world.geo)
+        )
+
+    def intervals(self, confidence: float = 0.95) -> HeadlineIntervals:
+        """Bootstrap CIs for the headline numbers."""
+        return headline_intervals(self.traces, confidence=confidence)
+
+    def validate(self) -> list[InferenceQuality]:
+        """Score the §4 inference rules against deployed ground truth."""
+        return validate_study(self.world, self.traces, self.campaign)
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Every table and figure, as text, in the paper's order."""
+        return full_report(
+            self.geography,
+            self.reachability,
+            self.differential_plain_only,
+            self.differential_ect_only,
+            self.tcp_ecn,
+            self.campaign,
+            self.paths,
+            self.correlation,
+        )
+
+    def save(self, directory: str | Path) -> Path:
+        """Archive the study (manifest + datasets + summary + CSVs)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "manifest.json").write_text(
+            json.dumps({"scale": self.scale, "seed": self.seed})
+        )
+        self.traces.save(directory / "traces.json")
+        self.campaign.save(directory / "traceroutes.json")
+        export_summary_json(
+            directory / "summary.json",
+            self.geography,
+            self.reachability,
+            self.tcp_ecn,
+            self.paths,
+            self.correlation,
+        )
+        export_traces_csv(directory / "traces.csv", self.traces)
+        export_figure_data(
+            directory / "figures",
+            self.reachability,
+            self.tcp_ecn,
+            self.differential_plain_only,
+            self.differential_ect_only,
+            self.tcp_ecn.pct_negotiated,
+        )
+        (directory / "report.txt").write_text(self.report() + "\n")
+        return directory
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "Study":
+        """Re-hydrate a saved study (world rebuilt from the manifest)."""
+        directory = Path(directory)
+        manifest = json.loads((directory / "manifest.json").read_text())
+        scale, seed = manifest["scale"], manifest["seed"]
+        params = default_params(seed) if scale >= 1.0 else scaled_params(scale, seed)
+        return cls(
+            world=SyntheticInternet(params),
+            traces=TraceSet.load(directory / "traces.json"),
+            campaign=TracerouteCampaign.load(directory / "traceroutes.json"),
+            scale=scale,
+            seed=seed,
+        )

@@ -1,0 +1,31 @@
+"""TCP with RFC 3168 ECN negotiation over the simulated IP layer."""
+
+from .connection import (
+    ConnState,
+    ECNServerPolicy,
+    ECNStats,
+    TCPConnection,
+    TCPListener,
+    TCPStack,
+)
+from .segment import (
+    DEFAULT_MSS,
+    ECN_SETUP_SYN,
+    ECN_SETUP_SYNACK,
+    Flags,
+    TCPSegment,
+)
+
+__all__ = [
+    "ConnState",
+    "DEFAULT_MSS",
+    "ECNServerPolicy",
+    "ECNStats",
+    "ECN_SETUP_SYN",
+    "ECN_SETUP_SYNACK",
+    "Flags",
+    "TCPConnection",
+    "TCPListener",
+    "TCPSegment",
+    "TCPStack",
+]

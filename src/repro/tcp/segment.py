@@ -1,0 +1,194 @@
+"""TCP segment codec (RFC 793 header, RFC 3168 ECE/CWR flags).
+
+The paper's TCP experiment is entirely about two header bits: an
+"ECN-setup SYN" carries ECE+CWR, and a server agreeing to use ECN
+answers with an "ECN-setup SYN-ACK" carrying ECE but **not** CWR.  The
+codec is byte-exact (including the pseudo-header checksum) so captures
+show what a real tcpdump would show.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+
+from ..netsim.checksum import internet_checksum, pseudo_header
+from ..netsim.errors import CodecError
+from ..netsim.ipv4 import PROTO_TCP
+
+_HEADER = struct.Struct("!HHIIBBHHH")
+HEADER_LEN = _HEADER.size  # 20 bytes without options
+
+#: Option kinds we encode/decode.
+OPT_END = 0
+OPT_NOP = 1
+OPT_MSS = 2
+
+DEFAULT_MSS = 1460
+
+
+class Flags(enum.IntFlag):
+    """TCP header flags, including the ECN pair from RFC 3168."""
+
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+    URG = 0x20
+    ECE = 0x40
+    CWR = 0x80
+
+
+#: The flag combination of an ECN-setup SYN (RFC 3168 §6.1.1).
+ECN_SETUP_SYN = Flags.SYN | Flags.ECE | Flags.CWR
+#: The flag combination of an ECN-setup SYN-ACK.
+ECN_SETUP_SYNACK = Flags.SYN | Flags.ACK | Flags.ECE
+
+
+@dataclass
+class TCPSegment:
+    """A parsed TCP segment."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: Flags = Flags(0)
+    window: int = 65535
+    payload: bytes = b""
+    mss: int | None = None
+
+    # ------------------------------------------------------------------
+    # Flag conveniences
+    # ------------------------------------------------------------------
+    @property
+    def is_syn(self) -> bool:
+        return bool(self.flags & Flags.SYN) and not (self.flags & Flags.ACK)
+
+    @property
+    def is_synack(self) -> bool:
+        return bool(self.flags & Flags.SYN) and bool(self.flags & Flags.ACK)
+
+    @property
+    def is_ecn_setup_syn(self) -> bool:
+        """SYN with both ECE and CWR set: the client requests ECN."""
+        return self.is_syn and bool(self.flags & Flags.ECE) and bool(self.flags & Flags.CWR)
+
+    @property
+    def is_ecn_setup_synack(self) -> bool:
+        """SYN-ACK with ECE set and CWR clear: the server accepts ECN.
+
+        RFC 3168 §6.1.1: a SYN-ACK with both ECE and CWR is *not* a
+        valid ECN-setup SYN-ACK (it indicates a broken or reflecting
+        implementation) and MUST be treated as non-ECN-setup.
+        """
+        return (
+            self.is_synack
+            and bool(self.flags & Flags.ECE)
+            and not (self.flags & Flags.CWR)
+        )
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def encode(self, src_addr: int, dst_addr: int) -> bytes:
+        """Serialise with checksum over the IPv4 pseudo-header."""
+        for name, port in (("src", self.src_port), ("dst", self.dst_port)):
+            if not 0 <= port <= 0xFFFF:
+                raise CodecError(f"TCP {name} port out of range: {port}")
+        options = b""
+        if self.mss is not None:
+            options = struct.pack("!BBH", OPT_MSS, 4, self.mss)
+        # Pad options to a 32-bit boundary.
+        while len(options) % 4:
+            options += bytes((OPT_NOP,))
+        data_offset = (HEADER_LEN + len(options)) // 4
+        header = _HEADER.pack(
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            data_offset << 4,
+            int(self.flags) & 0xFF,
+            self.window,
+            0,
+            0,
+        )
+        segment = header + options + self.payload
+        pseudo = pseudo_header(src_addr, dst_addr, PROTO_TCP, len(segment))
+        csum = internet_checksum(pseudo + segment)
+        return segment[:16] + struct.pack("!H", csum) + segment[18:]
+
+    @classmethod
+    def decode(
+        cls,
+        data: bytes,
+        src_addr: int | None = None,
+        dst_addr: int | None = None,
+        verify: bool = False,
+    ) -> "TCPSegment":
+        """Parse wire bytes (checksum verified only on request)."""
+        if len(data) < HEADER_LEN:
+            raise CodecError(f"TCP header truncated: {len(data)} bytes")
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            offset_byte,
+            flag_byte,
+            window,
+            _csum,
+            _urgent,
+        ) = _HEADER.unpack_from(data)
+        data_offset = (offset_byte >> 4) * 4
+        if data_offset < HEADER_LEN or len(data) < data_offset:
+            raise CodecError(f"bad TCP data offset: {data_offset}")
+        if verify:
+            if src_addr is None or dst_addr is None:
+                raise CodecError("TCP checksum verification needs IP addresses")
+            pseudo = pseudo_header(src_addr, dst_addr, PROTO_TCP, len(data))
+            if internet_checksum(pseudo + data) != 0:
+                raise CodecError("TCP checksum mismatch")
+        mss = _parse_mss(data[HEADER_LEN:data_offset])
+        return cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=Flags(flag_byte),
+            window=window,
+            payload=data[data_offset:],
+            mss=mss,
+        )
+
+    def __repr__(self) -> str:
+        names = [flag.name for flag in Flags if self.flags & flag]
+        return (
+            f"TCPSegment({self.src_port} -> {self.dst_port}, "
+            f"seq={self.seq}, ack={self.ack}, flags={'|'.join(names) or '-'}, "
+            f"len={len(self.payload)})"
+        )
+
+
+def _parse_mss(options: bytes) -> int | None:
+    """Extract the MSS option value, if present."""
+    i = 0
+    while i < len(options):
+        kind = options[i]
+        if kind == OPT_END:
+            break
+        if kind == OPT_NOP:
+            i += 1
+            continue
+        if i + 1 >= len(options):
+            break
+        length = options[i + 1]
+        if length < 2 or i + length > len(options):
+            break
+        if kind == OPT_MSS and length == 4:
+            return struct.unpack_from("!H", options, i + 2)[0]
+        i += length
+    return None

@@ -1,0 +1,132 @@
+"""Tests for the Figure 3 differential-reachability analysis."""
+
+import pytest
+
+from repro.core.analysis.differential import (
+    DifferentialAnalysis,
+    transient_vs_persistent,
+)
+from repro.core.traces import ProbeOutcome, Trace, TraceSet
+
+
+def make_trace_set():
+    """Four servers, two vantages, two traces each.
+
+    Server 1: always fine.  Server 2: always plain-only (blocked).
+    Server 3: plain-only in one trace of one vantage (transient).
+    Server 4: ect-only everywhere (the oddball).
+    """
+    ts = TraceSet(server_addrs=[1, 2, 3, 4])
+    patterns = {
+        ("a", 0): {1: (True, True), 2: (True, False), 3: (True, False), 4: (False, True)},
+        ("a", 1): {1: (True, True), 2: (True, False), 3: (True, True), 4: (False, True)},
+        ("b", 2): {1: (True, True), 2: (True, False), 3: (True, True), 4: (False, True)},
+        ("b", 3): {1: (True, True), 2: (True, False), 3: (True, True), 4: (False, True)},
+    }
+    for (vantage, trace_id), rows in patterns.items():
+        trace = Trace(trace_id=trace_id, vantage_key=vantage, batch=1, started_at=0.0)
+        for addr, (plain, ect) in rows.items():
+            trace.add(ProbeOutcome(server_addr=addr, udp_plain=plain, udp_ect=ect))
+        ts.add(trace)
+    return ts
+
+
+class TestFractions:
+    def test_blocked_server_fraction_one(self):
+        analysis = DifferentialAnalysis(make_trace_set(), "plain-only")
+        assert analysis.record("a", 2).fraction == 1.0
+        assert analysis.record("b", 2).fraction == 1.0
+
+    def test_clean_server_fraction_zero(self):
+        analysis = DifferentialAnalysis(make_trace_set(), "plain-only")
+        assert analysis.record("a", 1).fraction == 0.0
+
+    def test_transient_server_partial_fraction(self):
+        analysis = DifferentialAnalysis(make_trace_set(), "plain-only")
+        assert analysis.record("a", 3).fraction == pytest.approx(0.5)
+        assert analysis.record("b", 3).fraction == 0.0
+
+    def test_never_eligible_absent(self):
+        analysis = DifferentialAnalysis(make_trace_set(), "plain-only")
+        # Server 4 is never plain-reachable: no record for 3a.
+        assert analysis.record("a", 4) is None
+
+    def test_ect_only_direction(self):
+        analysis = DifferentialAnalysis(make_trace_set(), "ect-only")
+        assert analysis.record("a", 4).fraction == 1.0
+        assert analysis.record("a", 1).fraction == 0.0
+
+    def test_unknown_direction_rejected(self):
+        with pytest.raises(ValueError):
+            DifferentialAnalysis(make_trace_set(), "sideways")
+
+    def test_fractions_for_vantage_ordered_by_server(self):
+        analysis = DifferentialAnalysis(make_trace_set(), "plain-only")
+        heights = analysis.fractions_for_vantage("a")
+        assert heights == [0.0, 1.0, 0.5, 0.0]
+
+
+class TestThresholds:
+    def test_servers_above(self):
+        analysis = DifferentialAnalysis(make_trace_set(), "plain-only")
+        assert analysis.servers_above(0.5, "a") == {2}
+        assert analysis.servers_above(0.4, "a") == {2, 3}
+
+    def test_counts_per_vantage(self):
+        analysis = DifferentialAnalysis(make_trace_set(), "plain-only")
+        assert analysis.count_above_per_vantage(0.5) == {"a": 1, "b": 1}
+
+    def test_everywhere_vs_somewhere(self):
+        analysis = DifferentialAnalysis(make_trace_set(), "plain-only")
+        assert analysis.servers_above_everywhere(0.5) == {2}
+        assert analysis.servers_above_somewhere(0.4) == {2, 3}
+
+    def test_transient_vs_persistent_split(self):
+        analysis = DifferentialAnalysis(make_trace_set(), "plain-only")
+        persistent, transient = transient_vs_persistent(analysis)
+        assert persistent == {2}
+        assert transient == {3}
+
+
+class TestOnMeasuredStudy:
+    def test_blocked_servers_spike_from_every_vantage(self, study_results):
+        """Paper: 'usually the same set of servers having high
+        differential reachability from every location'."""
+        world, trace_set, _ = study_results
+        analysis = DifferentialAnalysis(trace_set, "plain-only")
+        expected = (
+            world.ground_truth.udp_ect_blocked | world.ground_truth.any_ect_blocked
+        )
+        everywhere = analysis.servers_above_everywhere(0.5)
+        assert expected <= everywhere
+        # And almost nothing else reaches that level everywhere.
+        assert len(everywhere - expected) <= 2
+
+    def test_figure3b_has_at_most_a_few_spikes(self, study_results):
+        world, trace_set, _ = study_results
+        analysis = DifferentialAnalysis(trace_set, "ect-only")
+        somewhere = analysis.servers_above_somewhere(0.5)
+        # Paper: at most 3 servers.
+        expected = world.ground_truth.not_ect_blocked | world.ground_truth.phoenix
+        assert somewhere <= expected
+        assert analysis.servers_above_everywhere(0.5) <= expected
+
+    def test_phoenix_pair_ec2_only(self, study_results):
+        """Figure 3b: the Phoenix servers spike from EC2 vantages only."""
+        world, trace_set, _ = study_results
+        analysis = DifferentialAnalysis(trace_set, "ect-only")
+        for addr in world.ground_truth.phoenix:
+            ec2_fraction = analysis.record("ec2-virginia", addr)
+            home = analysis.record("perkins-home", addr)
+            assert ec2_fraction is None or ec2_fraction.fraction >= 0.0
+            # From the home vantage the server behaves normally: it is
+            # not-ECT reachable, so it never shows as ect-only there.
+            if home is not None:
+                assert home.fraction == 0.0
+
+    def test_transient_outnumber_persistent(self, study_results):
+        """Paper: ~4x more transiently unreachable servers."""
+        _, trace_set, _ = study_results
+        analysis = DifferentialAnalysis(trace_set, "plain-only")
+        persistent, transient = transient_vs_persistent(analysis)
+        assert len(transient) > len(persistent)

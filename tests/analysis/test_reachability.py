@@ -1,0 +1,112 @@
+"""Tests for the §4.1 / Figure 2 reachability analysis."""
+
+import pytest
+
+from repro.core.analysis.reachability import (
+    analyze_reachability,
+    trace_reachability,
+)
+from repro.core.traces import ProbeOutcome, Trace, TraceSet
+
+
+def synthetic_trace(trace_id, vantage, batch, rows):
+    """rows: list of (plain, ect) bools."""
+    trace = Trace(trace_id=trace_id, vantage_key=vantage, batch=batch, started_at=0.0)
+    for addr, (plain, ect) in enumerate(rows, start=1):
+        trace.add(
+            ProbeOutcome(server_addr=addr, udp_plain=plain, udp_ect=ect)
+        )
+    return trace
+
+
+class TestTraceReachability:
+    def test_percentages(self):
+        trace = synthetic_trace(
+            0, "v", 1, [(True, True), (True, False), (False, True), (False, False)]
+        )
+        record = trace_reachability(trace)
+        assert record.udp_plain == 2
+        assert record.udp_ect == 2
+        assert record.udp_both == 1
+        assert record.pct_ect_given_plain == pytest.approx(50.0)
+        assert record.pct_plain_given_ect == pytest.approx(50.0)
+
+    def test_none_when_no_denominator(self):
+        trace = synthetic_trace(0, "v", 1, [(False, False)])
+        record = trace_reachability(trace)
+        assert record.pct_ect_given_plain is None
+
+
+class TestSummary:
+    def _trace_set(self):
+        ts = TraceSet(server_addrs=[1, 2, 3, 4])
+        ts.add(synthetic_trace(0, "a", 1, [(True, True)] * 4))
+        ts.add(synthetic_trace(1, "a", 1, [(True, True)] * 3 + [(True, False)]))
+        ts.add(synthetic_trace(2, "b", 2, [(True, True)] * 2 + [(False, False)] * 2))
+        return ts
+
+    def test_averages(self):
+        summary = analyze_reachability(self._trace_set())
+        assert summary.avg_udp_plain == pytest.approx((4 + 4 + 2) / 3)
+        assert summary.avg_pct_ect_given_plain == pytest.approx(
+            (100.0 + 75.0 + 100.0) / 3
+        )
+        assert summary.avg_pct_plain_given_ect == pytest.approx(100.0)
+
+    def test_min_pct(self):
+        summary = analyze_reachability(self._trace_set())
+        assert summary.min_pct_ect_given_plain == pytest.approx(75.0)
+
+    def test_grouping(self):
+        summary = analyze_reachability(self._trace_set())
+        grouped = summary.by_vantage()
+        assert len(grouped["a"]) == 2
+        assert len(grouped["b"]) == 1
+        assert summary.vantage_avg_pct("a")["a"] == pytest.approx(87.5)
+
+    def test_batch_averages(self):
+        summary = analyze_reachability(self._trace_set())
+        per_batch = summary.batch_avg_reachable()
+        assert per_batch[1] == pytest.approx(4.0)
+        assert per_batch[2] == pytest.approx(2.0)
+
+
+class TestOnMeasuredStudy:
+    """Shape assertions against the real measured study (§4.1)."""
+
+    def test_high_ect_reachability(self, study_results):
+        _, trace_set, _ = study_results
+        summary = analyze_reachability(trace_set)
+        # Paper: 98.97% average, always above 90%.
+        assert summary.avg_pct_ect_given_plain > 93.0
+        assert summary.min_pct_ect_given_plain > 85.0
+
+    def test_converse_higher_than_forward(self, study_results):
+        """Figure 2b percentages exceed 2a: ECT-only unreachability is
+        rarer than plain-only."""
+        _, trace_set, _ = study_results
+        summary = analyze_reachability(trace_set)
+        assert summary.avg_pct_plain_given_ect > summary.avg_pct_ect_given_plain
+
+    def test_mcquistin_home_is_the_outlier(self, study_results):
+        _, trace_set, _ = study_results
+        summary = analyze_reachability(trace_set)
+        per_vantage = summary.vantage_avg_pct("a")
+        worst = min(per_vantage, key=per_vantage.get)
+        assert worst == "mcquistin-home"
+        others = [v for k, v in per_vantage.items() if k != "mcquistin-home"]
+        assert per_vantage["mcquistin-home"] < min(others) - 2.0
+
+    def test_most_servers_reachable(self, study_results):
+        world, trace_set, _ = study_results
+        summary = analyze_reachability(trace_set)
+        # Paper: 2253 of 2500 (~90%).
+        fraction = summary.avg_udp_plain / summary.total_servers
+        assert 0.80 < fraction < 0.97
+
+    def test_batch2_reaches_fewer_servers(self, study_results):
+        """Pool churn: the July/August batch reaches fewer servers."""
+        _, trace_set, _ = study_results
+        summary = analyze_reachability(trace_set)
+        per_batch = summary.batch_avg_reachable()
+        assert per_batch[2] < per_batch[1]

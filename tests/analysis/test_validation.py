@@ -1,0 +1,62 @@
+"""Tests for methodology validation against ground truth."""
+
+import pytest
+
+from repro.core.analysis.validation import (
+    InferenceQuality,
+    validate_blocked_server_inference,
+    validate_oddball_inference,
+    validate_strip_location_inference,
+    validate_study,
+)
+
+
+class TestInferenceQuality:
+    def test_perfect(self):
+        q = InferenceQuality("x", true_positives=5, false_positives=0, false_negatives=0)
+        assert q.precision == 1.0
+        assert q.recall == 1.0
+        assert q.f1 == 1.0
+
+    def test_partial(self):
+        q = InferenceQuality("x", true_positives=3, false_positives=1, false_negatives=3)
+        assert q.precision == pytest.approx(0.75)
+        assert q.recall == pytest.approx(0.5)
+        assert 0 < q.f1 < 1
+
+    def test_degenerate(self):
+        q = InferenceQuality("x", 0, 0, 0)
+        assert q.precision == 1.0
+        assert q.recall == 1.0
+
+
+class TestOnMeasuredStudy:
+    """The paper's inference rules recover the deployed middleboxes."""
+
+    def test_blocked_server_inference_is_accurate(self, study_results):
+        world, trace_set, _ = study_results
+        quality = validate_blocked_server_inference(trace_set, world.ground_truth)
+        assert quality.recall == 1.0  # every firewalled server found
+        assert quality.precision > 0.6  # few false accusations
+
+    def test_oddball_inference_is_accurate(self, study_results):
+        world, trace_set, _ = study_results
+        quality = validate_oddball_inference(trace_set, world.ground_truth)
+        assert quality.precision == 1.0
+        assert quality.recall > 0.6
+
+    def test_strip_location_inference_recovers_bleacher_ases(self, study_results):
+        world, _, campaign = study_results
+        quality = validate_strip_location_inference(world, campaign)
+        assert quality.precision == 1.0  # no AS falsely accused
+        assert quality.recall > 0.6  # most bleaching ASes localised
+
+    def test_validate_study_runs_all(self, study_results):
+        world, trace_set, campaign = study_results
+        results = validate_study(world, trace_set, campaign)
+        assert [q.name for q in results] == [
+            "blocked-servers",
+            "not-ect-droppers",
+            "strip-ases",
+        ]
+        assert all(q.f1 > 0.5 for q in results)

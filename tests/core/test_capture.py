@@ -1,0 +1,99 @@
+"""Tests for the tcpdump-equivalent packet capture."""
+
+from repro.core.capture import PacketCapture, tcp_port_filter, udp_port_filter
+from repro.netsim.ecn import ECN
+from repro.protocols.http.client import fetch
+from repro.protocols.http.server import PoolWebServer
+from repro.protocols.ntp.client import query_server
+from repro.protocols.ntp.server import NTPServer
+
+
+class TestCaptureBasics:
+    def test_captures_both_directions(self, two_host_net):
+        net, client, server = two_host_net
+        NTPServer(server)
+        with PacketCapture(client) as capture:
+            query_server(client, server.addr, ECN.ECT_0, lambda r: None)
+            net.scheduler.run()
+        directions = [c.direction for c in capture]
+        assert directions == ["out", "in"]
+
+    def test_decodes_udp(self, two_host_net):
+        net, client, server = two_host_net
+        NTPServer(server)
+        capture = PacketCapture(client)
+        query_server(client, server.addr, ECN.ECT_0, lambda r: None)
+        net.scheduler.run()
+        capture.stop()
+        assert capture.packets[0].udp.dst_port == 123
+        assert capture.packets[0].ecn is ECN.ECT_0
+        assert capture.packets[1].ecn is ECN.NOT_ECT
+
+    def test_udp_port_filter(self, two_host_net):
+        net, client, server = two_host_net
+        NTPServer(server)
+        capture = PacketCapture(client, capture_filter=udp_port_filter(123))
+        other = client.udp_bind(None)
+        other.send(server.addr, 9999, b"noise")
+        query_server(client, server.addr, ECN.NOT_ECT, lambda r: None)
+        net.scheduler.run()
+        assert all(
+            123 in (c.udp.src_port, c.udp.dst_port) for c in capture.stop()
+        )
+
+    def test_tcp_filter_and_decode(self, two_host_net):
+        net, client, server = two_host_net
+        PoolWebServer(server)
+        capture = PacketCapture(client, capture_filter=tcp_port_filter(80))
+        fetch(client, server.addr, use_ecn=True, callback=lambda r: None)
+        net.scheduler.run()
+        packets = capture.stop()
+        assert packets, "expected TCP traffic"
+        assert all(c.tcp is not None for c in packets)
+        # First outbound segment is the ECN-setup SYN.
+        from repro.tcp.segment import Flags
+
+        syn = packets[0].tcp
+        assert syn.flags & Flags.SYN and syn.flags & Flags.ECE and syn.flags & Flags.CWR
+
+    def test_max_packets_cap(self, two_host_net):
+        net, client, server = two_host_net
+        NTPServer(server)
+        capture = PacketCapture(client, max_packets=1)
+        query_server(client, server.addr, ECN.NOT_ECT, lambda r: None)
+        net.scheduler.run()
+        assert len(capture) == 1
+        assert capture.dropped >= 1
+
+    def test_stop_is_idempotent_and_detaches(self, two_host_net):
+        net, client, server = two_host_net
+        NTPServer(server)
+        capture = PacketCapture(client)
+        capture.stop()
+        capture.stop()
+        query_server(client, server.addr, ECN.NOT_ECT, lambda r: None)
+        net.scheduler.run()
+        assert len(capture) == 0
+
+
+class TestSummaries:
+    def test_dump_mentions_protocol_and_marks(self, two_host_net):
+        net, client, server = two_host_net
+        NTPServer(server)
+        capture = PacketCapture(client)
+        query_server(client, server.addr, ECN.ECT_0, lambda r: None)
+        net.scheduler.run()
+        text = capture.dump()
+        assert "UDP" in text
+        assert "ECT(0)" in text
+        assert "not-ECT" in text
+
+    def test_icmp_summary(self, two_host_net):
+        net, client, server = two_host_net
+        capture = PacketCapture(client)
+        client.udp_bind(None).send(server.addr, 33434, b"probe", ttl=1)
+        net.scheduler.run()
+        capture.stop()
+        icmp = [c for c in capture if c.icmp is not None]
+        assert len(icmp) == 1
+        assert "type=11" in icmp[0].summary()

@@ -1,0 +1,54 @@
+"""Tests for the extension probe: Kühlewind-style TCP ECN usability."""
+
+from repro.core.probes import probe_tcp_ecn_usability
+from repro.protocols.http.server import PoolWebServer
+from repro.tcp.connection import ECNServerPolicy
+
+
+class TestUsabilityProbe:
+    def test_compliant_server_echoes_ece(self, two_host_net):
+        net, client, server = two_host_net
+        PoolWebServer(server, ecn_policy=ECNServerPolicy.NEGOTIATE)
+        result = probe_tcp_ecn_usability(client, server.addr)
+        assert result.negotiated
+        assert result.ce_sent
+        assert result.ece_echoed
+        assert result.response_ok
+
+    def test_non_negotiating_server_never_echoes(self, two_host_net):
+        net, client, server = two_host_net
+        PoolWebServer(server, ecn_policy=ECNServerPolicy.IGNORE)
+        result = probe_tcp_ecn_usability(client, server.addr)
+        assert not result.negotiated
+        assert not result.ce_sent  # no ECT data on a non-ECN connection
+        assert not result.ece_echoed
+        assert result.response_ok  # the page still loads
+
+    def test_reflecting_server_fails_usability(self, two_host_net):
+        net, client, server = two_host_net
+        PoolWebServer(server, ecn_policy=ECNServerPolicy.REFLECT)
+        result = probe_tcp_ecn_usability(client, server.addr)
+        assert not result.negotiated
+        assert not result.ece_echoed
+
+    def test_usability_on_measured_world(self, fresh_world):
+        """Against the calibrated population: negotiating servers are
+        (approximately) all usable — matching Kühlewind et al.'s ~90 %
+        and the paper's comparable UDP result."""
+        from repro.tcp.connection import ECNServerPolicy as Policy
+
+        world = fresh_world
+        host = world.vantage_hosts["ec2-ireland"]
+        negotiators = [
+            s
+            for s in world.servers
+            if s.web_policy is Policy.NEGOTIATE
+            and s.addr not in world.ground_truth.offline_batch1
+            and s.addr not in world.ground_truth.any_ect_blocked
+        ][:15]
+        usable = 0
+        for server in negotiators:
+            result = probe_tcp_ecn_usability(host, server.addr)
+            if result.negotiated and result.ece_echoed:
+                usable += 1
+        assert usable >= 0.8 * len(negotiators)

@@ -1,0 +1,94 @@
+"""Tests for the measurement application and trace scheduling."""
+
+import pytest
+
+from repro.core.measurement import MeasurementApplication, trace_plan
+from repro.scenario.parameters import TraceScheduleParams
+from repro.scenario.vantages import VANTAGES
+
+
+class TestTracePlan:
+    def test_paper_schedule_totals(self):
+        plan = trace_plan(TraceScheduleParams())
+        assert len(plan) == 210
+        assert len([p for p in plan if p.batch == 1]) == 24  # 3 vantages x 8
+
+    def test_batch1_only_early_vantages(self):
+        plan = trace_plan(TraceScheduleParams())
+        early = {spec.key for spec in VANTAGES if spec.in_batch1}
+        assert {p.vantage_key for p in plan if p.batch == 1} == early
+
+    def test_batch2_covers_all_vantages(self):
+        plan = trace_plan(TraceScheduleParams())
+        assert {p.vantage_key for p in plan if p.batch == 2} == {
+            spec.key for spec in VANTAGES
+        }
+
+    def test_batches_ordered(self):
+        plan = trace_plan(TraceScheduleParams())
+        batches = [p.batch for p in plan]
+        assert batches == sorted(batches)
+
+    def test_trace_ids_unique_and_sequential(self):
+        plan = trace_plan(TraceScheduleParams())
+        assert [p.trace_id for p in plan] == list(range(210))
+
+    def test_balanced_distribution(self):
+        plan = trace_plan(TraceScheduleParams())
+        counts = {}
+        for planned in plan:
+            counts[planned.vantage_key] = counts.get(planned.vantage_key, 0) + 1
+        assert max(counts.values()) - min(counts.values()) <= 9
+
+    def test_overflowing_batch1_rejected(self):
+        with pytest.raises(ValueError):
+            trace_plan(
+                TraceScheduleParams(
+                    total_traces=10, batch1_traces_per_home_vantage=10
+                )
+            )
+
+
+class TestMeasurement:
+    def test_single_trace_covers_all_targets(self, fresh_world):
+        app = MeasurementApplication(fresh_world)
+        trace = app.run_trace("ec2-frankfurt", trace_id=0, batch=1)
+        assert set(trace.outcomes) == {s.addr for s in fresh_world.servers}
+
+    def test_custom_target_list_respected(self, fresh_world):
+        targets = [s.addr for s in fresh_world.servers[:5]]
+        app = MeasurementApplication(fresh_world, targets=targets)
+        trace = app.run_trace("ec2-frankfurt", trace_id=0, batch=1)
+        assert set(trace.outcomes) == set(targets)
+
+    def test_outcome_fields_consistent(self, fresh_world):
+        app = MeasurementApplication(
+            fresh_world, targets=[fresh_world.servers[0].addr]
+        )
+        trace = app.run_trace("ugla-wired", trace_id=0, batch=1)
+        outcome = next(iter(trace.outcomes.values()))
+        if outcome.udp_plain:
+            assert 1 <= outcome.udp_plain_attempts <= 5
+        else:
+            assert outcome.udp_plain_attempts == 5
+        if outcome.ecn_negotiated:
+            assert outcome.tcp_ecn or outcome.tcp_plain
+
+    def test_study_follows_plan(self, study_results):
+        world, trace_set, _ = study_results
+        plan = trace_plan(world.params.schedule)
+        assert len(trace_set) == len(plan)
+        assert [t.trace_id for t in trace_set] == [p.trace_id for p in plan]
+        assert [t.batch for t in trace_set] == [p.batch for p in plan]
+
+    def test_study_timestamps_increase(self, study_results):
+        _, trace_set, _ = study_results
+        starts = [t.started_at for t in trace_set]
+        assert starts == sorted(starts)
+        assert starts[1] > starts[0]
+
+    def test_campaign_covers_vantage_target_product(self, study_results):
+        world, trace_set, campaign = study_results
+        assert len(campaign) == 13 * len(world.servers)
+        keys = {p.vantage_key for p in campaign}
+        assert keys == set(world.vantage_hosts)

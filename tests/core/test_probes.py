@@ -1,0 +1,138 @@
+"""Tests for the probing primitives against the synthetic Internet."""
+
+import pytest
+
+from repro.core.probes import Traceroute, probe_tcp, probe_udp, run_traceroute
+from repro.netsim.ecn import ECN
+
+
+class TestUDPProbe:
+    def test_online_server_reachable_both_ways(self, fresh_world):
+        host = fresh_world.vantage_hosts["ugla-wired"]
+        truth = fresh_world.ground_truth
+        special = (
+            truth.udp_ect_blocked
+            | truth.any_ect_blocked
+            | truth.flaky_ect_blocked
+            | truth.not_ect_blocked
+            | truth.phoenix
+            | truth.offline_batch1
+        )
+        target = next(s for s in fresh_world.servers if s.addr not in special)
+        assert probe_udp(host, target.addr, ECN.NOT_ECT).responded
+        assert probe_udp(host, target.addr, ECN.ECT_0).responded
+
+    def test_offline_server_unreachable_after_five_attempts(self, fresh_world):
+        host = fresh_world.vantage_hosts["ugla-wired"]
+        offline = sorted(fresh_world.ground_truth.offline_batch1)[0]
+        result = probe_udp(host, offline, ECN.NOT_ECT)
+        assert not result.responded
+        assert result.attempts == 5
+
+
+class TestTCPProbe:
+    def test_web_server_fetch(self, fresh_world):
+        truth = fresh_world.ground_truth
+        target = next(
+            s
+            for s in fresh_world.servers
+            if s.web is not None
+            and s.addr not in truth.any_ect_blocked
+            and s.addr not in truth.offline_batch1
+        )
+        host = fresh_world.vantage_hosts["ec2-ireland"]
+        result = probe_tcp(host, target.addr, use_ecn=False)
+        assert result.ok
+        assert result.response.status in (200, 302)
+
+    def test_ecn_negotiation_matches_policy(self, fresh_world):
+        from repro.tcp.connection import ECNServerPolicy
+
+        host = fresh_world.vantage_hosts["ec2-ireland"]
+        negotiator = next(
+            s
+            for s in fresh_world.servers
+            if s.web_policy is ECNServerPolicy.NEGOTIATE
+            and s.addr not in fresh_world.ground_truth.offline_batch1
+            and s.addr not in fresh_world.ground_truth.udp_ect_blocked
+        )
+        result = probe_tcp(host, negotiator.addr, use_ecn=True)
+        assert result.ecn_negotiated
+
+    def test_no_web_server_not_reachable(self, fresh_world):
+        target = next(s for s in fresh_world.servers if s.web is None)
+        host = fresh_world.vantage_hosts["ec2-ireland"]
+        result = probe_tcp(host, target.addr, use_ecn=False)
+        assert not result.ok
+
+
+class TestTraceroute:
+    def test_reaches_near_destination(self, fresh_world):
+        target = fresh_world.servers[0]
+        host = fresh_world.vantage_hosts["perkins-home"]
+        path = run_traceroute(host, target.addr, params=fresh_world.params.probes)
+        assert len(path.hops) >= 3
+        # The last responding hop is the destination's access router.
+        last = path.hops[-1]
+        access_router = fresh_world.topology.routers[target.host.router_id]
+        final_asn = fresh_world.as_map.lookup(last.responder)
+        assert final_asn == access_router.asn
+
+    def test_hops_ordered_by_ttl(self, fresh_world):
+        target = fresh_world.servers[1]
+        host = fresh_world.vantage_hosts["ec2-tokyo"]
+        path = run_traceroute(host, target.addr, params=fresh_world.params.probes)
+        ttls = [hop.ttl for hop in path.hops]
+        assert ttls == sorted(ttls)
+
+    def test_marks_preserved_on_clean_path(self, fresh_world):
+        truth = fresh_world.ground_truth
+        bleached_asns = {
+            fresh_world.topology.routers[r].asn for r in truth.bleacher_routers
+        }
+        target = next(
+            s for s in fresh_world.servers if s.asn not in bleached_asns
+        )
+        host = fresh_world.vantage_hosts["ugla-wired"]
+        path = run_traceroute(host, target.addr, params=fresh_world.params.probes)
+        assert all(h.mark_preserved for h in path.responding_hops())
+
+    def test_strip_visible_behind_bleacher(self, fresh_world):
+        truth = fresh_world.ground_truth
+        # A border bleacher sits on every path into its AS: any server
+        # of that AS shows the strip.
+        reliable = truth.boundary_bleacher_routers - truth.flaky_bleacher_routers
+        bleached_border_asns = {
+            fresh_world.topology.routers[r].asn for r in reliable
+        }
+        target = next(
+            (s for s in fresh_world.servers if s.asn in bleached_border_asns),
+            None,
+        )
+        if target is None:
+            pytest.skip("no server behind a reliable border bleacher in this seed")
+        host = fresh_world.vantage_hosts["ec2-virginia"]
+        path = run_traceroute(host, target.addr, params=fresh_world.params.probes)
+        assert path.first_strip_ttl() is not None
+
+    def test_sent_ecn_recorded(self, fresh_world):
+        target = fresh_world.servers[2]
+        host = fresh_world.vantage_hosts["ec2-oregon"]
+        path = run_traceroute(host, target.addr, ecn=ECN.ECT_0)
+        assert path.sent_ecn == int(ECN.ECT_0)
+        assert all(h.sent_ecn == int(ECN.ECT_0) for h in path.hops)
+
+    def test_trailing_silence_trimmed(self, fresh_world):
+        target = fresh_world.servers[3]
+        host = fresh_world.vantage_hosts["ec2-oregon"]
+        path = run_traceroute(host, target.addr, params=fresh_world.params.probes)
+        assert path.hops, "expected at least one responding hop"
+        assert path.hops[-1].responded
+
+    def test_does_not_reach_destination_host(self, fresh_world):
+        """Pool hosts ignore high-port UDP: no port-unreachable, so the
+        trace 'stops one hop before the destination' (§4.2)."""
+        target = fresh_world.servers[4]
+        host = fresh_world.vantage_hosts["ec2-oregon"]
+        path = run_traceroute(host, target.addr, params=fresh_world.params.probes)
+        assert not path.reached_destination

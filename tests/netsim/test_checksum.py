@@ -1,0 +1,70 @@
+"""Tests for the Internet checksum (RFC 1071)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.checksum import internet_checksum, pseudo_header, verify_checksum
+
+
+class TestKnownVectors:
+    def test_rfc1071_example(self):
+        # The classic worked example from RFC 1071 §3.
+        data = bytes((0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7))
+        assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+    def test_empty_input(self):
+        assert internet_checksum(b"") == 0xFFFF
+
+    def test_all_zero_input(self):
+        assert internet_checksum(bytes(8)) == 0xFFFF
+
+    def test_odd_length_is_padded(self):
+        # Padding with 0x00 means checksum(b'ab') == checksum over
+        # words 0x6162, and checksum(b'a') == over 0x6100.
+        assert internet_checksum(b"a") == (~0x6100) & 0xFFFF
+
+
+class TestVerification:
+    def test_roundtrip_verifies(self):
+        payload = bytes(range(20))
+        csum = internet_checksum(payload)
+        block = payload + csum.to_bytes(2, "big")
+        assert verify_checksum(block)
+
+    def test_corruption_detected(self):
+        payload = bytes(range(20))
+        csum = internet_checksum(payload)
+        block = bytearray(payload + csum.to_bytes(2, "big"))
+        block[3] ^= 0xFF
+        assert not verify_checksum(bytes(block))
+
+
+@given(st.binary(min_size=0, max_size=256))
+def test_checksum_in_16bit_range(data):
+    assert 0 <= internet_checksum(data) <= 0xFFFF
+
+
+@given(st.binary(min_size=2, max_size=128).filter(lambda b: len(b) % 2 == 0))
+def test_appending_checksum_yields_valid_block(data):
+    csum = internet_checksum(data)
+    assert verify_checksum(data + csum.to_bytes(2, "big"))
+
+
+@given(st.binary(min_size=2, max_size=64).filter(lambda b: len(b) % 2 == 0))
+def test_word_order_invariance(data):
+    """One's-complement addition commutes: swapping 16-bit words
+    anywhere in the input leaves the checksum unchanged."""
+    words = [data[i : i + 2] for i in range(0, len(data), 2)]
+    reordered = b"".join(reversed(words))
+    assert internet_checksum(data) == internet_checksum(reordered)
+
+
+class TestPseudoHeader:
+    def test_layout(self):
+        pseudo = pseudo_header(0x01020304, 0x05060708, 17, 0x1234)
+        assert pseudo == bytes(
+            (1, 2, 3, 4, 5, 6, 7, 8, 0, 17, 0x12, 0x34)
+        )
+
+    def test_length_is_twelve(self):
+        assert len(pseudo_header(0, 0, 6, 0)) == 12

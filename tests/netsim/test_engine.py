@@ -1,0 +1,134 @@
+"""Tests for the discrete event engine."""
+
+import pytest
+
+from repro.netsim.engine import EventScheduler
+from repro.netsim.errors import SimulationError
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sched = EventScheduler()
+        order = []
+        sched.schedule(2.0, order.append, "late")
+        sched.schedule(1.0, order.append, "early")
+        sched.run()
+        assert order == ["early", "late"]
+
+    def test_ties_break_by_insertion_order(self):
+        sched = EventScheduler()
+        order = []
+        for tag in ("a", "b", "c"):
+            sched.schedule(1.0, order.append, tag)
+        sched.run()
+        assert order == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        sched = EventScheduler()
+        seen = []
+        sched.schedule(3.5, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [3.5]
+        assert sched.now == 3.5
+
+    def test_negative_delay_rejected(self):
+        sched = EventScheduler()
+        with pytest.raises(SimulationError):
+            sched.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sched = EventScheduler()
+        sched.schedule(1.0, lambda: None)
+        sched.step()
+        seen = []
+        sched.schedule_at(4.0, lambda: seen.append(sched.now))
+        sched.run()
+        assert seen == [4.0]
+
+    def test_events_scheduled_during_run_execute(self):
+        sched = EventScheduler()
+        order = []
+
+        def first():
+            order.append("first")
+            sched.schedule(1.0, lambda: order.append("nested"))
+
+        sched.schedule(1.0, first)
+        sched.run()
+        assert order == ["first", "nested"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sched = EventScheduler()
+        fired = []
+        event = sched.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sched.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sched = EventScheduler()
+        event = sched.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sched.run() == 0
+
+    def test_pending_excludes_cancelled(self):
+        sched = EventScheduler()
+        keep = sched.schedule(1.0, lambda: None)
+        drop = sched.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert sched.pending == 1
+        assert not keep.cancelled
+
+
+class TestRunUntil:
+    def test_run_until_stops_at_deadline(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, fired.append, "a")
+        sched.schedule(5.0, fired.append, "b")
+        count = sched.run_until(2.0)
+        assert count == 1
+        assert fired == ["a"]
+        assert sched.now == 2.0
+
+    def test_run_until_advances_clock_when_queue_empty(self):
+        sched = EventScheduler()
+        sched.run_until(7.0)
+        assert sched.now == 7.0
+
+    def test_run_until_includes_events_at_deadline(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(2.0, fired.append, "edge")
+        sched.run_until(2.0)
+        assert fired == ["edge"]
+
+    def test_remaining_events_fire_on_later_run(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(5.0, fired.append, "late")
+        sched.run_until(2.0)
+        sched.run()
+        assert fired == ["late"]
+
+
+class TestSafety:
+    def test_max_events_guard(self):
+        sched = EventScheduler()
+
+        def forever():
+            sched.schedule(0.0, forever)
+
+        sched.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sched.run(max_events=100)
+
+    def test_dispatched_counter(self):
+        sched = EventScheduler()
+        for _ in range(5):
+            sched.schedule(1.0, lambda: None)
+        sched.run()
+        assert sched.dispatched == 5

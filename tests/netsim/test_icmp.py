@@ -1,0 +1,115 @@
+"""Tests for ICMP messages and quotations (the §4.2 mechanism)."""
+
+import pytest
+
+from repro.netsim.ecn import ECN
+from repro.netsim.errors import CodecError
+from repro.netsim.icmp import (
+    CLASSIC_QUOTE_PAYLOAD,
+    CODE_PORT_UNREACHABLE,
+    CODE_TTL_EXCEEDED,
+    ICMPMessage,
+    TYPE_DEST_UNREACHABLE,
+    TYPE_ECHO_REQUEST,
+    TYPE_TIME_EXCEEDED,
+    admin_prohibited,
+    port_unreachable,
+    quote_datagram,
+    time_exceeded,
+)
+from repro.netsim.ipv4 import IPv4Packet, PROTO_UDP, parse_addr
+from repro.netsim.udp import UDPDatagram
+
+
+def probe_packet(payload_len=32, ecn=ECN.ECT_0):
+    datagram = UDPDatagram(49152, 33434, b"p" * payload_len)
+    src, dst = parse_addr("192.0.2.1"), parse_addr("198.51.100.2")
+    return IPv4Packet(
+        src=src,
+        dst=dst,
+        protocol=PROTO_UDP,
+        payload=datagram.encode(src, dst),
+        ttl=1,
+        tos=int(ecn),
+        ident=0x4242,
+    )
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        message = ICMPMessage(icmp_type=TYPE_TIME_EXCEEDED, code=0, body=b"quoted")
+        decoded = ICMPMessage.decode(message.encode())
+        assert decoded == message
+
+    def test_checksum_verified(self):
+        wire = bytearray(ICMPMessage(TYPE_TIME_EXCEEDED, body=b"abc").encode())
+        wire[-1] ^= 0x01
+        with pytest.raises(CodecError):
+            ICMPMessage.decode(bytes(wire))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(CodecError):
+            ICMPMessage.decode(b"\x0b\x00")
+
+
+class TestQuotations:
+    def test_classic_quote_is_header_plus_8(self):
+        original = probe_packet()
+        body = quote_datagram(original, CLASSIC_QUOTE_PAYLOAD)
+        assert len(body) == 20 + 8
+
+    def test_full_quote_includes_more(self):
+        original = probe_packet(payload_len=64)
+        body = quote_datagram(original, 128)
+        assert len(body) == min(len(original.encode()), 20 + 128)
+
+    def test_quoted_packet_preserves_ecn_field(self):
+        """The core §4.2 observable: the quote carries the TOS byte as
+        the router saw it."""
+        original = probe_packet(ecn=ECN.ECT_0)
+        message = time_exceeded(original)
+        quoted = message.quoted_packet()
+        assert quoted.ecn is ECN.ECT_0
+        assert quoted.ident == 0x4242
+
+    def test_quote_of_bleached_packet_shows_not_ect(self):
+        bleached = probe_packet().with_ecn(ECN.NOT_ECT)
+        quoted = time_exceeded(bleached).quoted_packet()
+        assert quoted.ecn is ECN.NOT_ECT
+
+    def test_quoted_udp_header_recoverable(self):
+        """The classic 8 payload bytes are exactly the UDP header."""
+        message = time_exceeded(probe_packet())
+        quoted = message.quoted_packet()
+        udp = UDPDatagram.decode(quoted.payload)
+        assert udp.src_port == 49152
+        assert udp.dst_port == 33434
+
+    def test_quotation_survives_wire_roundtrip(self):
+        message = time_exceeded(probe_packet())
+        decoded = ICMPMessage.decode(message.encode())
+        assert decoded.quoted_packet().ecn is ECN.ECT_0
+
+    def test_echo_has_no_quotation(self):
+        message = ICMPMessage(icmp_type=TYPE_ECHO_REQUEST, body=b"ping")
+        assert not message.is_error
+        with pytest.raises(CodecError):
+            message.quoted_packet()
+
+
+class TestConstructors:
+    def test_time_exceeded(self):
+        message = time_exceeded(probe_packet())
+        assert message.icmp_type == TYPE_TIME_EXCEEDED
+        assert message.code == CODE_TTL_EXCEEDED
+        assert message.is_error
+
+    def test_port_unreachable(self):
+        message = port_unreachable(probe_packet())
+        assert message.icmp_type == TYPE_DEST_UNREACHABLE
+        assert message.code == CODE_PORT_UNREACHABLE
+
+    def test_admin_prohibited(self):
+        message = admin_prohibited(probe_packet())
+        assert message.icmp_type == TYPE_DEST_UNREACHABLE
+        assert message.code == 13

@@ -1,0 +1,116 @@
+"""Tests for ECN-hostile middlebox behaviours."""
+
+import random
+
+from repro.netsim.ecn import ECN
+from repro.netsim.ipv4 import IPv4Packet, PROTO_TCP, PROTO_UDP, Prefix, parse_addr
+from repro.netsim.middlebox import (
+    ECTBleacher,
+    ECTDropper,
+    NotECTDropper,
+    TOSBleacher,
+    any_ect_firewall,
+    udp_ect_firewall,
+)
+
+
+def packet(ecn=ECN.ECT_0, protocol=PROTO_UDP, src="192.0.2.1", dst="198.51.100.1", dscp=0):
+    return IPv4Packet(
+        src=parse_addr(src),
+        dst=parse_addr(dst),
+        protocol=protocol,
+        tos=(dscp << 2) | int(ecn),
+    )
+
+
+RNG = random.Random(0)
+
+
+class TestECTBleacher:
+    def test_bleaches_ect0(self):
+        verdict = ECTBleacher().process(packet(ECN.ECT_0), RNG)
+        assert not verdict.dropped
+        assert verdict.packet.ecn is ECN.NOT_ECT
+
+    def test_bleaches_ect1_and_ce(self):
+        for ecn in (ECN.ECT_1, ECN.CE):
+            verdict = ECTBleacher().process(packet(ecn), RNG)
+            assert verdict.packet.ecn is ECN.NOT_ECT
+
+    def test_not_ect_unchanged(self):
+        original = packet(ECN.NOT_ECT)
+        verdict = ECTBleacher().process(original, RNG)
+        assert verdict.packet is original
+
+    def test_preserves_dscp(self):
+        verdict = ECTBleacher().process(packet(ECN.ECT_0, dscp=0b101010), RNG)
+        assert verdict.packet.tos >> 2 == 0b101010
+
+    def test_probabilistic_bleacher_sometimes_passes(self):
+        """The paper's 125 'sometimes strip' hops."""
+        box = ECTBleacher(probability=0.5)
+        rng = random.Random(42)
+        results = [box.process(packet(ECN.ECT_0), rng).packet.ecn for _ in range(400)]
+        assert results.count(ECN.NOT_ECT) > 100
+        assert results.count(ECN.ECT_0) > 100
+
+
+class TestECTDropper:
+    def test_drops_ect(self):
+        assert ECTDropper().process(packet(ECN.ECT_0), RNG).dropped
+
+    def test_passes_not_ect(self):
+        assert not ECTDropper().process(packet(ECN.NOT_ECT), RNG).dropped
+
+    def test_protocol_scoping(self):
+        """§4.4's finding: middleboxes that discard ECT-marked UDP but
+        not ECT-marked TCP."""
+        box = ECTDropper(protocols=frozenset({PROTO_UDP}))
+        assert box.process(packet(ECN.ECT_0, PROTO_UDP), RNG).dropped
+        assert not box.process(packet(ECN.ECT_0, PROTO_TCP), RNG).dropped
+
+    def test_dst_scoping(self):
+        target = parse_addr("198.51.100.1")
+        box = ECTDropper(dst_addrs=frozenset({target}))
+        assert box.process(packet(ECN.ECT_0, dst="198.51.100.1"), RNG).dropped
+        assert not box.process(packet(ECN.ECT_0, dst="198.51.100.2"), RNG).dropped
+
+
+class TestNotECTDropper:
+    def test_drops_not_ect_passes_ect(self):
+        box = NotECTDropper()
+        assert box.process(packet(ECN.NOT_ECT), RNG).dropped
+        assert not box.process(packet(ECN.ECT_0), RNG).dropped
+
+    def test_src_prefix_scoping(self):
+        """The Phoenix-library pair: misbehaves only from EC2 space."""
+        ec2 = Prefix.parse("54.0.0.0/8")
+        box = NotECTDropper(src_prefixes=(ec2,))
+        assert box.process(packet(ECN.NOT_ECT, src="54.1.2.3"), RNG).dropped
+        assert not box.process(packet(ECN.NOT_ECT, src="192.0.2.1"), RNG).dropped
+
+
+class TestTOSBleacher:
+    def test_zeroes_whole_byte(self):
+        verdict = TOSBleacher().process(packet(ECN.ECT_0, dscp=0b111111), RNG)
+        assert verdict.packet.tos == 0
+
+    def test_zero_tos_passes_unmodified(self):
+        original = packet(ECN.NOT_ECT)
+        assert TOSBleacher().process(original, RNG).packet is original
+
+
+class TestFactories:
+    def test_udp_ect_firewall_scope(self):
+        target = parse_addr("198.51.100.1")
+        box = udp_ect_firewall([target])
+        assert box.process(packet(ECN.ECT_0, PROTO_UDP), RNG).dropped
+        assert not box.process(packet(ECN.ECT_0, PROTO_TCP), RNG).dropped
+        assert not box.process(
+            packet(ECN.ECT_0, PROTO_UDP, dst="198.51.100.9"), RNG
+        ).dropped
+
+    def test_any_ect_firewall_covers_tcp(self):
+        target = parse_addr("198.51.100.1")
+        box = any_ect_firewall([target])
+        assert box.process(packet(ECN.ECT_0, PROTO_TCP), RNG).dropped

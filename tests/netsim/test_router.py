@@ -1,0 +1,115 @@
+"""Tests for per-hop router processing."""
+
+import random
+
+from repro.netsim.ecn import ECN
+from repro.netsim.ipv4 import IPv4Packet, PROTO_UDP, parse_addr
+from repro.netsim.middlebox import ECTBleacher, ECTDropper
+from repro.netsim.router import (
+    HOP_DROP,
+    HOP_FORWARD,
+    HOP_TTL_EXPIRED,
+    Router,
+)
+
+RNG = random.Random(0)
+
+
+def router(**kwargs):
+    defaults = dict(router_id="r1", asn=64500, interface_addr=parse_addr("10.0.0.1"))
+    defaults.update(kwargs)
+    return Router(**defaults)
+
+
+def packet(ttl=64, ecn=ECN.ECT_0):
+    return IPv4Packet(
+        src=parse_addr("192.0.2.1"),
+        dst=parse_addr("198.51.100.1"),
+        protocol=PROTO_UDP,
+        payload=b"x" * 16,
+        ttl=ttl,
+        tos=int(ecn),
+        ident=7,
+    )
+
+
+class TestForwarding:
+    def test_decrements_ttl(self):
+        result = router().process_transit(packet(ttl=10), RNG)
+        assert result.verdict == HOP_FORWARD
+        assert result.packet.ttl == 9
+
+    def test_original_packet_not_mutated(self):
+        original = packet(ttl=10)
+        router().process_transit(original, RNG)
+        assert original.ttl == 10
+
+
+class TestTTLExpiry:
+    def test_ttl_one_expires(self):
+        result = router().process_transit(packet(ttl=1), RNG)
+        assert result.verdict == HOP_TTL_EXPIRED
+        assert result.icmp is not None
+
+    def test_ttl_zero_expires(self):
+        result = router().process_transit(packet(ttl=0), RNG)
+        assert result.verdict == HOP_TTL_EXPIRED
+
+    def test_icmp_quotes_packet_with_ttl_zero(self):
+        result = router().process_transit(packet(ttl=1), RNG)
+        quoted = result.icmp.quoted_packet()
+        assert quoted.ttl == 0
+        assert quoted.ident == 7
+
+    def test_silent_router_sends_no_icmp(self):
+        result = router(sends_icmp_errors=False).process_transit(packet(ttl=1), RNG)
+        assert result.verdict == HOP_TTL_EXPIRED
+        assert result.icmp is None
+
+    def test_rate_limited_router_sometimes_silent(self):
+        rng = random.Random(5)
+        r = router(icmp_response_rate=0.5)
+        responses = [
+            r.process_transit(packet(ttl=1), rng).icmp is not None
+            for _ in range(200)
+        ]
+        assert 40 < sum(responses) < 160
+
+    def test_quote_payload_length_configurable(self):
+        classic = router(icmp_quote_payload=8).process_transit(packet(ttl=1), RNG)
+        full = router(icmp_quote_payload=128).process_transit(packet(ttl=1), RNG)
+        assert len(full.icmp.body) > len(classic.icmp.body)
+        assert len(classic.icmp.body) == 28
+
+
+class TestMiddleboxChain:
+    def test_dropper_blocks_transit(self):
+        r = router(middleboxes=[ECTDropper()])
+        result = r.process_transit(packet(ecn=ECN.ECT_0), RNG)
+        assert result.verdict == HOP_DROP
+        assert "ect-dropper" in result.reason
+
+    def test_bleacher_rewrites_then_forwards(self):
+        r = router(middleboxes=[ECTBleacher()])
+        result = r.process_transit(packet(ecn=ECN.ECT_0), RNG)
+        assert result.verdict == HOP_FORWARD
+        assert result.packet.ecn is ECN.NOT_ECT
+
+    def test_quote_reflects_bleached_mark(self):
+        """A bleaching router's own TTL-exceeded quote shows not-ECT:
+        this is exactly how the paper's traceroutes localise strips."""
+        r = router(middleboxes=[ECTBleacher()])
+        result = r.process_transit(packet(ttl=1, ecn=ECN.ECT_0), RNG)
+        assert result.verdict == HOP_TTL_EXPIRED
+        assert result.icmp.quoted_packet().ecn is ECN.NOT_ECT
+
+    def test_chain_applies_in_order(self):
+        r = router(middleboxes=[ECTBleacher(), ECTDropper()])
+        # Bleacher clears the mark, so the dropper then passes it.
+        result = r.process_transit(packet(ecn=ECN.ECT_0), RNG)
+        assert result.verdict == HOP_FORWARD
+
+    def test_add_middlebox(self):
+        r = router()
+        r.add_middlebox(ECTDropper())
+        assert r.process_transit(packet(), RNG).verdict == HOP_DROP

@@ -1,0 +1,142 @@
+"""Tests for the prefix trie and shortest-path routing."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.errors import RoutingError
+from repro.netsim.ipv4 import Prefix, parse_addr
+from repro.netsim.link import Link
+from repro.netsim.routing import PrefixTrie, RoutingTable
+
+
+class TestPrefixTrie:
+    def test_exact_lookup(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "ten")
+        assert trie.lookup(parse_addr("10.1.2.3")) == "ten"
+
+    def test_longest_prefix_wins(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "short")
+        trie.insert(Prefix.parse("10.1.0.0/16"), "long")
+        assert trie.lookup(parse_addr("10.1.9.9")) == "long"
+        assert trie.lookup(parse_addr("10.2.0.1")) == "short"
+
+    def test_miss_raises_keyerror(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "ten")
+        with pytest.raises(KeyError):
+            trie.lookup(parse_addr("11.0.0.1"))
+
+    def test_lookup_default(self):
+        trie = PrefixTrie()
+        assert trie.lookup_default(parse_addr("1.2.3.4"), "none") == "none"
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix(0, 0), "default")
+        trie.insert(Prefix.parse("10.0.0.0/8"), "ten")
+        assert trie.lookup(parse_addr("200.1.1.1")) == "default"
+        assert trie.lookup(parse_addr("10.0.0.1")) == "ten"
+
+    def test_host_route(self):
+        trie = PrefixTrie()
+        trie.insert(Prefix.parse("10.0.0.0/8"), "net")
+        trie.insert(Prefix(parse_addr("10.5.5.5"), 32), "host")
+        assert trie.lookup(parse_addr("10.5.5.5")) == "host"
+        assert trie.lookup(parse_addr("10.5.5.6")) == "net"
+
+    def test_reinsert_replaces(self):
+        trie = PrefixTrie()
+        prefix = Prefix.parse("10.0.0.0/8")
+        trie.insert(prefix, "old")
+        trie.insert(prefix, "new")
+        assert trie.lookup(parse_addr("10.0.0.1")) == "new"
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 0xFFFFFFFF), st.integers(8, 28)),
+        min_size=1,
+        max_size=24,
+    ),
+    st.integers(0, 0xFFFFFFFF),
+)
+def test_trie_matches_linear_scan(entries, probe):
+    """Longest-prefix match agrees with a brute-force reference."""
+    trie = PrefixTrie()
+    prefixes = []
+    for raw, length in entries:
+        prefix = Prefix(raw & (Prefix(0, length).mask if length else 0), length)
+        trie.insert(prefix, str(prefix))
+        prefixes.append(prefix)
+    matches = [p for p in prefixes if p.contains(probe)]
+    if matches:
+        best = max(matches, key=lambda p: p.length)
+        # Ties between identical prefixes are fine: identical strings.
+        assert trie.lookup(probe) == str(best)
+    else:
+        assert trie.lookup_default(probe) is None
+
+
+def build_graph(edges):
+    graph = nx.DiGraph()
+    for a, b in edges:
+        graph.add_edge(a, b, link=Link(a, b), weight=1.0)
+        graph.add_edge(b, a, link=Link(b, a), weight=1.0)
+    return graph
+
+
+class TestRoutingTable:
+    def test_trivial_path(self):
+        table = RoutingTable(build_graph([("a", "b")]))
+        assert table.path("a", "a") == ("a",)
+        assert table.path("a", "b") == ("a", "b")
+
+    def test_shortest_path_chosen(self):
+        # a-b-c-d versus a-x-d: the 3-hop route wins.
+        table = RoutingTable(
+            build_graph([("a", "b"), ("b", "c"), ("c", "d"), ("a", "x"), ("x", "d")])
+        )
+        assert table.path("a", "d") == ("a", "x", "d")
+
+    def test_weights_respected(self):
+        graph = build_graph([("a", "b"), ("b", "c")])
+        graph.add_edge("a", "c", link=Link("a", "c"), weight=10.0)
+        graph.add_edge("c", "a", link=Link("c", "a"), weight=10.0)
+        table = RoutingTable(graph)
+        assert table.path("a", "c") == ("a", "b", "c")
+
+    def test_no_route_raises(self):
+        graph = build_graph([("a", "b")])
+        graph.add_node("island")
+        table = RoutingTable(graph)
+        with pytest.raises(RoutingError):
+            table.path("a", "island")
+
+    def test_unknown_node_raises(self):
+        table = RoutingTable(build_graph([("a", "b")]))
+        with pytest.raises(RoutingError):
+            table.path("a", "ghost")
+
+    def test_hops_yield_links(self):
+        table = RoutingTable(build_graph([("a", "b"), ("b", "c")]))
+        hops = list(table.hops("a", "c"))
+        assert [(router, link.dst) for router, link in hops] == [
+            ("a", "b"),
+            ("b", "c"),
+        ]
+
+    def test_caching_returns_same_object(self):
+        table = RoutingTable(build_graph([("a", "b")]))
+        assert table.path("a", "b") is table.path("a", "b")
+
+    def test_invalidate_clears_cache(self):
+        graph = build_graph([("a", "b"), ("b", "c")])
+        table = RoutingTable(graph)
+        assert table.path("a", "c") == ("a", "b", "c")
+        graph.add_edge("a", "c", link=Link("a", "c"), weight=0.1)
+        table.invalidate()
+        assert table.path("a", "c") == ("a", "c")

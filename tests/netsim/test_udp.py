@@ -1,0 +1,77 @@
+"""Tests for the UDP codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.errors import CodecError
+from repro.netsim.ipv4 import parse_addr
+from repro.netsim.udp import HEADER_LEN, UDPDatagram
+
+SRC = parse_addr("192.0.2.1")
+DST = parse_addr("198.51.100.2")
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        datagram = UDPDatagram(src_port=49152, dst_port=123, payload=b"ntp?")
+        wire = datagram.encode(SRC, DST)
+        decoded = UDPDatagram.decode(wire)
+        assert decoded == datagram
+
+    def test_length_field(self):
+        datagram = UDPDatagram(1, 2, b"abc")
+        assert datagram.length == HEADER_LEN + 3
+        wire = datagram.encode(SRC, DST)
+        assert int.from_bytes(wire[4:6], "big") == datagram.length
+
+    def test_checksum_verifies_with_addresses(self):
+        wire = UDPDatagram(5000, 123, b"payload").encode(SRC, DST)
+        UDPDatagram.decode(wire, SRC, DST, verify=True)
+
+    def test_checksum_fails_on_wrong_addresses(self):
+        wire = UDPDatagram(5000, 123, b"payload").encode(SRC, DST)
+        with pytest.raises(CodecError):
+            UDPDatagram.decode(wire, SRC, DST + 1, verify=True)
+
+    def test_checksum_fails_on_corrupt_payload(self):
+        wire = bytearray(UDPDatagram(5000, 123, b"payload").encode(SRC, DST))
+        wire[-1] ^= 0xFF
+        with pytest.raises(CodecError):
+            UDPDatagram.decode(bytes(wire), SRC, DST, verify=True)
+
+    def test_verify_needs_addresses(self):
+        wire = UDPDatagram(5000, 123, b"x").encode(SRC, DST)
+        with pytest.raises(CodecError):
+            UDPDatagram.decode(wire, verify=True)
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(CodecError):
+            UDPDatagram.decode(b"\x00\x01\x00")
+
+    def test_port_range_enforced(self):
+        with pytest.raises(CodecError):
+            UDPDatagram(src_port=70000, dst_port=1).encode(SRC, DST)
+
+    def test_zero_checksum_never_emitted(self):
+        """RFC 768: a computed checksum of zero is sent as 0xFFFF."""
+        # Brute-force a payload whose checksum would be zero is
+        # fragile; instead check the invariant across many payloads.
+        for i in range(64):
+            wire = UDPDatagram(i, i + 1, bytes([i] * i)).encode(SRC, DST)
+            assert wire[6:8] != b"\x00\x00"
+
+    def test_decode_ignores_bytes_past_length(self):
+        wire = UDPDatagram(1, 2, b"abc").encode(SRC, DST) + b"JUNK"
+        assert UDPDatagram.decode(wire).payload == b"abc"
+
+
+@given(
+    src_port=st.integers(0, 0xFFFF),
+    dst_port=st.integers(0, 0xFFFF),
+    payload=st.binary(max_size=128),
+)
+def test_roundtrip_property(src_port, dst_port, payload):
+    datagram = UDPDatagram(src_port, dst_port, payload)
+    decoded = UDPDatagram.decode(datagram.encode(SRC, DST), SRC, DST, verify=True)
+    assert decoded == datagram

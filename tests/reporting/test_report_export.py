@@ -1,0 +1,167 @@
+"""Tests for report assembly and machine-readable exports."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.analysis import (
+    DifferentialAnalysis,
+    analyze_campaign,
+    analyze_correlation,
+    analyze_geography,
+    analyze_reachability,
+    analyze_tcp_ecn,
+)
+from repro.reporting.export import export_summary_json, export_traces_csv
+from repro.reporting.report import (
+    full_report,
+    render_figure2,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+    render_table1,
+    render_table2,
+)
+
+
+@pytest.fixture(scope="module")
+def analyses(study_results):
+    world, trace_set, campaign = study_results
+    return {
+        "world": world,
+        "traces": trace_set,
+        "campaign": campaign,
+        "geo": analyze_geography(trace_set.server_addrs, world.geo),
+        "reach": analyze_reachability(trace_set),
+        "diff_a": DifferentialAnalysis(trace_set, "plain-only"),
+        "diff_b": DifferentialAnalysis(trace_set, "ect-only"),
+        "tcp": analyze_tcp_ecn(trace_set),
+        "paths": analyze_campaign(campaign, world.noisy_as_map),
+        "corr": analyze_correlation(trace_set),
+    }
+
+
+class TestRenderers:
+    def test_table1_lists_all_regions(self, analyses):
+        text = render_table1(analyses["geo"])
+        for region in ("Africa", "Asia", "Europe", "Unknown", "Total"):
+            assert region in text
+
+    def test_figure2_has_all_vantages_in_paper_order(self, analyses):
+        text = render_figure2(analyses["reach"])
+        assert text.index("Perkins home") < text.index("McQuistin home")
+        assert text.index("McQuistin home") < text.index("EC2 Virginia")
+        assert "Figure 2a" in text and "Figure 2b" in text
+
+    def test_figure4_reports_statistics(self, analyses):
+        text = render_figure4(analyses["campaign"], analyses["paths"])
+        assert "hops measured" in text
+        assert "strip" in text
+        assert "AS boundaries" in text
+        # Paths with strips render X glyphs.
+        assert "X" in text
+
+    def test_figure5_reports_averages(self, analyses):
+        text = render_figure5(analyses["tcp"])
+        assert "average reachable" in text
+        assert "%" in text
+
+    def test_figure6_compares_to_trend(self, analyses):
+        text = render_figure6(analyses["tcp"].pct_negotiated)
+        assert "logistic trend" in text
+        assert "measured" in text
+
+    def test_table2_rows(self, analyses):
+        text = render_table2(analyses["corr"])
+        assert "McQuistin home" in text
+        assert "EC2 Virginia" in text
+
+    def test_full_report_contains_every_artifact(self, analyses):
+        text = full_report(
+            analyses["geo"],
+            analyses["reach"],
+            analyses["diff_a"],
+            analyses["diff_b"],
+            analyses["tcp"],
+            analyses["campaign"],
+            analyses["paths"],
+            analyses["corr"],
+        )
+        for marker in (
+            "Table 1",
+            "Figure 1",
+            "Figure 2a",
+            "Figure 3a",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Table 2",
+            "Headline",
+            "98.97%",  # the paper-side numbers quoted for comparison
+        ):
+            assert marker in text, marker
+
+
+class TestExports:
+    def test_summary_json(self, analyses, tmp_path):
+        path = tmp_path / "summary.json"
+        payload = export_summary_json(
+            path,
+            analyses["geo"],
+            analyses["reach"],
+            analyses["tcp"],
+            analyses["paths"],
+            analyses["corr"],
+        )
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+        assert on_disk["section_4_1"]["avg_pct_ect_given_plain"] > 90
+        assert on_disk["section_4_3"]["pct_negotiated"] > 70
+        assert on_disk["table1"]["total"] == len(analyses["traces"].server_addrs)
+        assert len(on_disk["table2"]) == 13
+
+    def test_figure_data_csvs(self, analyses, tmp_path):
+        from repro.reporting.export import export_figure_data
+
+        written = export_figure_data(
+            tmp_path / "figs",
+            analyses["reach"],
+            analyses["tcp"],
+            analyses["diff_a"],
+            analyses["diff_b"],
+            analyses["tcp"].pct_negotiated,
+        )
+        names = {p.name for p in written}
+        assert names == {"figure2.csv", "figure3a.csv", "figure3b.csv", "figure6.csv"}
+        with open(tmp_path / "figs" / "figure2.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(analyses["traces"].traces)
+        assert all(float(r["pct_2a"]) > 0 for r in rows)
+        with open(tmp_path / "figs" / "figure6.csv") as handle:
+            series = list(csv.DictReader(handle))
+        assert series[-1]["study"] == "measured"
+        with open(tmp_path / "figs" / "figure3a.csv") as handle:
+            diff_rows = list(csv.DictReader(handle))
+        vantages = {r["vantage"] for r in diff_rows}
+        assert len(vantages) == 13
+        assert len(diff_rows) == 13 * len(analyses["traces"].server_addrs)
+
+    def test_traces_csv(self, analyses, tmp_path):
+        path = tmp_path / "traces.csv"
+        rows = export_traces_csv(path, analyses["traces"])
+        with open(path) as handle:
+            reader = csv.DictReader(handle)
+            first = next(reader)
+            count = 1 + sum(1 for _ in reader)
+        assert rows == count
+        expected = sum(len(t.outcomes) for t in analyses["traces"])
+        assert rows == expected
+        assert set(first) >= {
+            "trace_id",
+            "vantage",
+            "server_addr",
+            "udp_plain",
+            "udp_ect",
+            "ecn_negotiated",
+        }

@@ -1,0 +1,117 @@
+"""Tests for deployment helpers."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.geo.regions import Region
+from repro.netsim.errors import TopologyError
+from repro.scenario.deployment import (
+    AddressAllocator,
+    REGION_BASE_OCTET,
+    choose_country,
+    interleave_regions,
+    server_access_loss,
+    web_server_policy_mix,
+)
+from repro.scenario.parameters import ServerParams
+from repro.tcp.connection import ECNServerPolicy
+
+
+class TestAddressAllocator:
+    def test_regions_disjoint(self):
+        allocator = AddressAllocator()
+        europe = allocator.allocate(Region.EUROPE)
+        na = allocator.allocate(Region.NORTH_AMERICA)
+        assert not europe.contains(na.network)
+        assert not na.contains(europe.network)
+
+    def test_sequential_allocation_unique(self):
+        allocator = AddressAllocator()
+        prefixes = [allocator.allocate(Region.EUROPE) for _ in range(300)]
+        assert len({p.network for p in prefixes}) == 300
+
+    def test_first_octet_matches_region_pool(self):
+        allocator = AddressAllocator()
+        prefix = allocator.allocate(Region.ASIA)
+        assert prefix.network >> 24 == REGION_BASE_OCTET[Region.ASIA]
+
+    def test_spills_into_next_slash8(self):
+        allocator = AddressAllocator()
+        for _ in range(256):
+            allocator.allocate(Region.AFRICA)
+        spilled = allocator.allocate(Region.AFRICA)
+        assert spilled.network >> 24 == REGION_BASE_OCTET[Region.AFRICA] + 1
+
+    def test_exhaustion_raises(self):
+        allocator = AddressAllocator()
+        allocator._next_slot[Region.AFRICA] = 256 * 8
+        with pytest.raises(TopologyError):
+            allocator.allocate(Region.AFRICA)
+
+
+class TestCountryChoice:
+    def test_respects_region(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            assert choose_country(rng, Region.ASIA).region is Region.ASIA
+
+    def test_weighting_visible(self):
+        rng = random.Random(2)
+        picks = Counter(choose_country(rng, Region.EUROPE).code for _ in range(2000))
+        # Germany has the largest weight in the European pool.
+        assert picks["de"] == max(picks.values())
+
+    def test_unknown_region_raises(self):
+        with pytest.raises(ValueError):
+            choose_country(random.Random(1), Region.UNKNOWN)
+
+
+class TestAccessLoss:
+    def test_bounded_by_max(self):
+        rng = random.Random(3)
+        params = ServerParams()
+        for _ in range(500):
+            assert server_access_loss(rng, params).probability <= params.access_loss_max
+
+    def test_mean_approximately_configured(self):
+        rng = random.Random(4)
+        params = ServerParams()
+        rates = [server_access_loss(rng, params).probability for _ in range(5000)]
+        assert sum(rates) / len(rates) == pytest.approx(
+            params.access_loss_mean, rel=0.35
+        )
+
+
+class TestPolicyMix:
+    def test_mix_fractions(self):
+        rng = random.Random(5)
+        params = ServerParams()
+        policies = Counter(web_server_policy_mix(rng, params, 1000))
+        assert policies[ECNServerPolicy.NEGOTIATE] == 820
+        assert policies[ECNServerPolicy.REFLECT] == 5
+        assert policies[ECNServerPolicy.DROP_ECN_SYN] == 10
+        assert policies[ECNServerPolicy.IGNORE] == 165
+
+    def test_total_preserved(self):
+        rng = random.Random(6)
+        for count in (0, 1, 7, 333):
+            assert len(web_server_policy_mix(rng, ServerParams(), count)) == count
+
+    def test_shuffled(self):
+        rng = random.Random(7)
+        policies = web_server_policy_mix(rng, ServerParams(), 500)
+        # Not all NEGOTIATE entries first: the order is randomised.
+        first_block = policies[:100]
+        assert any(p is not ECNServerPolicy.NEGOTIATE for p in first_block)
+
+
+class TestInterleave:
+    def test_biggest_region_first(self):
+        order = interleave_regions({Region.EUROPE: 100, Region.ASIA: 10, Region.AFRICA: 1})
+        assert order[0] is Region.EUROPE
+
+    def test_empty_regions_skipped(self):
+        order = interleave_regions({Region.EUROPE: 5, Region.AFRICA: 0})
+        assert Region.AFRICA not in order

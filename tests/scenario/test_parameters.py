@@ -1,0 +1,77 @@
+"""Tests for scenario parameters and scaling."""
+
+import pytest
+
+from repro.geo.regions import PAPER_REGION_COUNTS, Region
+from repro.scenario.parameters import (
+    ScenarioParams,
+    default_params,
+    scaled_params,
+)
+
+
+class TestDefaults:
+    def test_full_scale_matches_paper(self):
+        params = default_params()
+        assert params.servers.total == 2500
+        assert params.schedule.total_traces == 210
+        assert params.servers.region_counts == PAPER_REGION_COUNTS
+
+    def test_probe_policy_matches_section3(self):
+        probes = default_params().probes
+        assert probes.ntp_attempts == 5
+        assert probes.ntp_timeout == 1.0
+
+    def test_web_fraction_matches_paper(self):
+        servers = default_params().servers
+        assert servers.web_server_fraction == pytest.approx(1334 / 2500)
+        assert servers.ecn_negotiate_fraction == pytest.approx(0.82)
+
+    def test_scale_property(self):
+        assert default_params().scale == 1.0
+
+
+class TestScaling:
+    def test_rates_preserved(self):
+        full = default_params()
+        small = scaled_params(0.1)
+        assert small.servers.web_server_fraction == full.servers.web_server_fraction
+        assert small.servers.ecn_negotiate_fraction == full.servers.ecn_negotiate_fraction
+        assert small.probes == full.probes
+
+    def test_population_scales(self):
+        small = scaled_params(0.1)
+        assert 200 <= small.servers.total <= 300
+        assert small.middleboxes.udp_ect_blocked_servers <= 3
+
+    def test_every_populated_region_keeps_a_server(self):
+        small = scaled_params(0.02)
+        for region, count in PAPER_REGION_COUNTS.items():
+            if count:
+                assert small.servers.region_counts[region] >= 1
+
+    def test_region_counts_sum_equals_total(self):
+        small = scaled_params(0.07)
+        assert sum(small.servers.region_counts.values()) == small.servers.total
+
+    def test_every_vantage_gets_a_trace(self):
+        small = scaled_params(0.02)
+        batch1 = 3 * small.schedule.batch1_traces_per_home_vantage
+        assert small.schedule.total_traces - batch1 >= 13
+
+    def test_scale_one_is_default(self):
+        assert scaled_params(1.0) == default_params()
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_params(0.0)
+        with pytest.raises(ValueError):
+            scaled_params(1.5)
+
+    def test_seed_passthrough(self):
+        assert scaled_params(0.5, seed=99).seed == 99
+
+    def test_params_frozen(self):
+        params = default_params()
+        with pytest.raises(Exception):
+            params.seed = 1

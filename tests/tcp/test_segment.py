@@ -1,0 +1,130 @@
+"""Tests for the TCP segment codec and ECN flag semantics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netsim.checksum import internet_checksum, pseudo_header
+from repro.netsim.errors import CodecError
+from repro.netsim.ipv4 import PROTO_TCP, parse_addr
+from repro.tcp.segment import Flags, TCPSegment
+
+SRC = parse_addr("192.0.2.1")
+DST = parse_addr("198.51.100.2")
+
+
+class TestCodec:
+    def test_roundtrip(self):
+        segment = TCPSegment(
+            src_port=33000,
+            dst_port=80,
+            seq=1000,
+            ack=2000,
+            flags=Flags.PSH | Flags.ACK,
+            window=8192,
+            payload=b"GET / HTTP/1.1\r\n\r\n",
+        )
+        decoded = TCPSegment.decode(segment.encode(SRC, DST))
+        assert decoded == segment
+
+    def test_mss_option_roundtrip(self):
+        segment = TCPSegment(1, 2, flags=Flags.SYN, mss=1400)
+        decoded = TCPSegment.decode(segment.encode(SRC, DST))
+        assert decoded.mss == 1400
+
+    def test_no_mss_when_absent(self):
+        segment = TCPSegment(1, 2, flags=Flags.ACK)
+        assert TCPSegment.decode(segment.encode(SRC, DST)).mss is None
+
+    def test_checksum_valid_on_wire(self):
+        wire = TCPSegment(1, 2, payload=b"data").encode(SRC, DST)
+        pseudo = pseudo_header(SRC, DST, PROTO_TCP, len(wire))
+        assert internet_checksum(pseudo + wire) == 0
+
+    def test_checksum_verification(self):
+        wire = bytearray(TCPSegment(1, 2, payload=b"data").encode(SRC, DST))
+        wire[-1] ^= 0xFF
+        with pytest.raises(CodecError):
+            TCPSegment.decode(bytes(wire), SRC, DST, verify=True)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(CodecError):
+            TCPSegment.decode(b"\x00" * 10)
+
+    def test_port_range_enforced(self):
+        with pytest.raises(CodecError):
+            TCPSegment(src_port=-1, dst_port=80).encode(SRC, DST)
+
+    def test_seq_wraps_32_bits(self):
+        segment = TCPSegment(1, 2, seq=0x1_0000_0005)
+        assert TCPSegment.decode(segment.encode(SRC, DST)).seq == 5
+
+
+class TestECNFlagSemantics:
+    def test_ecn_setup_syn(self):
+        syn = TCPSegment(1, 2, flags=Flags.SYN | Flags.ECE | Flags.CWR)
+        assert syn.is_syn
+        assert syn.is_ecn_setup_syn
+
+    def test_plain_syn_is_not_ecn_setup(self):
+        assert not TCPSegment(1, 2, flags=Flags.SYN).is_ecn_setup_syn
+
+    def test_ecn_setup_synack(self):
+        synack = TCPSegment(1, 2, flags=Flags.SYN | Flags.ACK | Flags.ECE)
+        assert synack.is_synack
+        assert synack.is_ecn_setup_synack
+
+    def test_reflected_synack_is_invalid(self):
+        """RFC 3168 §6.1.1: SYN-ACK with both ECE and CWR must be
+        treated as NOT an ECN-setup SYN-ACK."""
+        broken = TCPSegment(
+            1, 2, flags=Flags.SYN | Flags.ACK | Flags.ECE | Flags.CWR
+        )
+        assert not broken.is_ecn_setup_synack
+
+    def test_plain_synack_is_not_ecn_setup(self):
+        assert not TCPSegment(1, 2, flags=Flags.SYN | Flags.ACK).is_ecn_setup_synack
+
+    def test_synack_is_not_syn(self):
+        segment = TCPSegment(1, 2, flags=Flags.SYN | Flags.ACK)
+        assert not segment.is_syn
+        assert segment.is_synack
+
+    def test_flags_survive_wire(self):
+        for flags in (
+            Flags.SYN | Flags.ECE | Flags.CWR,
+            Flags.SYN | Flags.ACK | Flags.ECE,
+            Flags.ACK | Flags.ECE,
+            Flags.ACK | Flags.CWR | Flags.PSH,
+            Flags.RST | Flags.ACK,
+            Flags.FIN | Flags.ACK,
+        ):
+            decoded = TCPSegment.decode(
+                TCPSegment(1, 2, flags=flags).encode(SRC, DST)
+            )
+            assert decoded.flags == flags
+
+
+@given(
+    src_port=st.integers(0, 0xFFFF),
+    dst_port=st.integers(0, 0xFFFF),
+    seq=st.integers(0, 0xFFFFFFFF),
+    ack=st.integers(0, 0xFFFFFFFF),
+    flags=st.integers(0, 0xFF),
+    window=st.integers(0, 0xFFFF),
+    payload=st.binary(max_size=64),
+    mss=st.one_of(st.none(), st.integers(0, 0xFFFF)),
+)
+def test_roundtrip_property(src_port, dst_port, seq, ack, flags, window, payload, mss):
+    segment = TCPSegment(
+        src_port=src_port,
+        dst_port=dst_port,
+        seq=seq,
+        ack=ack,
+        flags=Flags(flags),
+        window=window,
+        payload=payload,
+        mss=mss,
+    )
+    decoded = TCPSegment.decode(segment.encode(SRC, DST), SRC, DST, verify=True)
+    assert decoded == segment

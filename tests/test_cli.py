@@ -1,0 +1,100 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for argv in (
+            ["study", "--scale", "0.02"],
+            ["report", "--study", "x"],
+            ["discover"],
+            ["traceroute"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.func)
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestDiscoverCommand:
+    def test_runs_and_prints(self, capsys):
+        assert main(["discover", "--scale", "0.02", "--seed", "3", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "servers discovered" in out
+        assert "..." in out  # more than the 5-line limit exists
+
+
+class TestTracerouteCommand:
+    def test_prints_hops(self, capsys):
+        assert (
+            main(
+                [
+                    "traceroute",
+                    "--scale",
+                    "0.02",
+                    "--seed",
+                    "3",
+                    "--vantage",
+                    "ec2-tokyo",
+                    "--server",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "traceroute to ntp-" in out
+        assert "ECT(0)" in out
+
+    def test_unknown_vantage_fails(self, capsys):
+        assert main(["traceroute", "--scale", "0.02", "--vantage", "nowhere"]) == 2
+
+    def test_server_out_of_range_fails(self, capsys):
+        assert (
+            main(["traceroute", "--scale", "0.02", "--server", "99999"]) == 2
+        )
+
+
+class TestStudyAndReport:
+    def test_study_writes_dataset_and_report(self, tmp_path, capsys):
+        out_dir = tmp_path / "study"
+        code = main(
+            [
+                "study",
+                "--scale",
+                "0.02",
+                "--seed",
+                "3",
+                "--out",
+                str(out_dir),
+            ]
+        )
+        assert code == 0
+        for name in (
+            "manifest.json",
+            "traces.json",
+            "traceroutes.json",
+            "summary.json",
+            "traces.csv",
+            "report.txt",
+        ):
+            assert (out_dir / name).exists(), name
+        manifest = json.loads((out_dir / "manifest.json").read_text())
+        assert manifest == {"scale": 0.02, "seed": 3}
+        stdout = capsys.readouterr().out
+        assert "Table 1" in stdout
+        assert "Figure 6" in stdout
+
+        # Re-analysing the saved study reproduces the report.
+        capsys.readouterr()
+        assert main(["report", "--study", str(out_dir)]) == 0
+        reread = capsys.readouterr().out
+        assert "Table 2" in reread

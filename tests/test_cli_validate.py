@@ -1,0 +1,16 @@
+"""Tests for the `ecnudp validate` command."""
+
+from repro.cli import main
+
+
+class TestValidateCommand:
+    def test_prints_intervals_and_quality(self, capsys):
+        assert main(["validate", "--scale", "0.02", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Headline statistics" in out
+        assert "CI" in out
+        assert "Inference quality" in out
+        for name in ("blocked-servers", "not-ect-droppers", "strip-ases"):
+            assert name in out
+        # Quality numbers are printed as precision/recall/f1 triples.
+        assert "precision=" in out and "recall=" in out and "f1=" in out

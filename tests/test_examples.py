@@ -1,0 +1,74 @@
+"""Smoke tests: every example script runs and tells its story.
+
+``full_study.py`` is exercised implicitly (its pipeline is the Study
+façade's pipeline, covered elsewhere) and skipped here for runtime.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: float = 180.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "probing from" in out
+        assert "firewalled server" in out
+        assert "unreachable" in out  # the ECT-blocked case shows up
+
+    def test_webrtc_preflight(self):
+        out = run_example("webrtc_preflight.py")
+        assert "ECN usable: enable ECT(0) marking" in out
+        assert "fall back to not-ECT" in out
+        assert "CE-marked" in out
+
+    def test_ecn_path_debugging(self):
+        out = run_example("ecn_path_debugging.py")
+        assert "ECN field CLEARED" in out
+        assert "mark first missing at hop" in out
+        assert "not-ECT=True, ECT(0)=False" in out
+
+    def test_rtp_adaptive_media(self):
+        out = run_example("rtp_adaptive_media.py")
+        assert "RED with ECN" in out
+        assert "RED without ECN" in out
+        # The ECN run reports CE marks, the drop-only run none.
+        assert "CE marks observed : 0" in out
+        lines = [l for l in out.splitlines() if "media lost" in l]
+        assert len(lines) == 2
+
+    def test_dns_variant_study(self):
+        out = run_example("dns_variant_study.py")
+        assert "ECT-blocked" in out
+        assert "conclusions generalise" in out
+        # Every probed host agreed between NTP and DNS verdicts.
+        import re
+
+        match = re.search(r"agree on (\d+)/(\d+)", out)
+        assert match and match.group(1) == match.group(2)
+
+    def test_full_study_with_args(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "full_study.py"), "0.02", "9"],
+            capture_output=True,
+            text=True,
+            timeout=240.0,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Table 1" in result.stdout
+        assert "Headline (paper vs reproduced)" in result.stdout
