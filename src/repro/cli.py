@@ -37,12 +37,11 @@ from .reporting.export import (
 )
 from .reporting.report import full_report
 from .scenario.internet import SyntheticInternet
-from .scenario.parameters import default_params, scaled_params
+from .scenario.parameters import params_for_scale
 
 
 def _build_world(scale: float, seed: int) -> SyntheticInternet:
-    params = default_params(seed) if scale >= 1.0 else scaled_params(scale, seed)
-    return SyntheticInternet(params)
+    return SyntheticInternet(params_for_scale(scale, seed))
 
 
 def _analyses(world: SyntheticInternet, traces: TraceSet, campaign: TracerouteCampaign):
@@ -69,13 +68,25 @@ def cmd_study(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
 
-    app = MeasurementApplication(world, targets=report.addresses)
-
     def progress(done: int, total: int, label: str) -> None:
         print(f"trace {done + 1}/{total} from {label}", file=sys.stderr)
 
-    traces = app.run_study(progress=progress if args.verbose else None)
-    campaign = app.run_traceroutes()
+    if args.workers > 0:
+        from .runner import run_study_parallel
+
+        print(f"running sharded across {args.workers} workers", file=sys.stderr)
+        traces, campaign = run_study_parallel(
+            scale=args.scale,
+            seed=args.seed,
+            workers=args.workers,
+            targets=report.addresses,
+            world=world,
+            progress=progress if args.verbose else None,
+        )
+    else:
+        app = MeasurementApplication(world, targets=report.addresses)
+        traces = app.run_study(progress=progress if args.verbose else None)
+        campaign = app.run_traceroutes()
 
     geo, reach, diff_a, diff_b, tcp, paths, corr = _analyses(world, traces, campaign)
     text = full_report(geo, reach, diff_a, diff_b, tcp, campaign, paths, corr)
@@ -225,6 +236,9 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--seed", type=int, default=20150401)
     study.add_argument("--out", type=str, default=None,
                        help="directory to write the dataset into")
+    study.add_argument("--workers", type=int, default=0,
+                       help="worker processes for sharded execution "
+                            "(0 = sequential; results are identical)")
     study.add_argument("--verbose", action="store_true")
     study.set_defaults(func=cmd_study)
 

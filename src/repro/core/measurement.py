@@ -45,21 +45,26 @@ def trace_plan(schedule: TraceScheduleParams) -> list[PlannedTrace]:
     paper's figure order so every location ends up with a similar
     trace count.
     """
+    batch1_vantages = [spec for spec in VANTAGES if spec.in_batch1]
+    batch1_total = len(batch1_vantages) * schedule.batch1_traces_per_home_vantage
+    # Validate before building anything: a schedule whose batch-1
+    # allocation exceeds the study total is a configuration error, not
+    # something to discover after constructing a partial plan.
+    if schedule.total_traces < 0:
+        raise ValueError(f"total_traces must be >= 0: {schedule.total_traces!r}")
+    if batch1_total > schedule.total_traces:
+        raise ValueError(
+            "batch-1 traces exceed the study total: "
+            f"{batch1_total} > {schedule.total_traces}"
+        )
     plan: list[PlannedTrace] = []
     trace_id = 0
-    batch1_vantages = [spec for spec in VANTAGES if spec.in_batch1]
     for spec in batch1_vantages:
         for _ in range(schedule.batch1_traces_per_home_vantage):
             plan.append(PlannedTrace(trace_id, spec.key, batch=1))
             trace_id += 1
-    remaining = schedule.total_traces - len(plan)
-    if remaining < 0:
-        raise ValueError(
-            "batch-1 traces exceed the study total: "
-            f"{len(plan)} > {schedule.total_traces}"
-        )
     keys = [spec.key for spec in VANTAGES]
-    for index in range(remaining):
+    for index in range(schedule.total_traces - batch1_total):
         plan.append(PlannedTrace(trace_id, keys[index % len(keys)], batch=2))
         trace_id += 1
     return plan
@@ -136,6 +141,34 @@ class MeasurementApplication:
     # ------------------------------------------------------------------
     # The full study
     # ------------------------------------------------------------------
+    def run_planned(
+        self,
+        planned: Sequence[PlannedTrace],
+        progress: ProgressFn | None = None,
+        progress_total: int | None = None,
+    ) -> list[Trace]:
+        """Execute a slice of the trace schedule hermetically.
+
+        Each planned trace runs in its own measurement epoch (see
+        :meth:`~repro.scenario.internet.SyntheticInternet.begin_epoch`),
+        keyed by its ``trace_id``, so the result does not depend on
+        which — if any — other traces this world executed before.
+        This is the single execution path shared by the sequential
+        study and :mod:`repro.runner` shard workers; the determinism
+        contract between them lives here.
+        """
+        total = progress_total if progress_total is not None else len(planned)
+        traces: list[Trace] = []
+        for index, entry in enumerate(planned):
+            if progress is not None:
+                progress(index, total, entry.vantage_key)
+            self.world.enter_batch(entry.batch)
+            self.world.begin_epoch(entry.trace_id)
+            traces.append(
+                self.run_trace(entry.vantage_key, entry.trace_id, entry.batch)
+            )
+        return traces
+
     def run_study(self, progress: ProgressFn | None = None) -> TraceSet:
         """Execute the whole trace schedule, switching batches midway."""
         plan = trace_plan(self.world.params.schedule)
@@ -146,25 +179,59 @@ class MeasurementApplication:
                 f"{len(plan)} traces x {len(self.targets)} servers"
             ),
         )
-        scheduler = self.world.network.scheduler
-        current_batch = 0
-        for index, planned in enumerate(plan):
-            if planned.batch != current_batch:
-                current_batch = planned.batch
-                self.world.enter_batch(current_batch)
-            if progress is not None:
-                progress(index, len(plan), planned.vantage_key)
-            trace_set.add(
-                self.run_trace(planned.vantage_key, planned.trace_id, planned.batch)
-            )
-            scheduler.run_until(
-                scheduler.now + self.world.params.schedule.inter_trace_gap
-            )
+        for trace in self.run_planned(plan, progress=progress):
+            trace_set.add(trace)
         return trace_set
 
     # ------------------------------------------------------------------
     # Traceroute campaign (§4.2)
     # ------------------------------------------------------------------
+    def traceroute_epoch(self, vantage_key: str) -> int:
+        """Measurement-epoch index of one vantage's traceroute sweep.
+
+        Epoch indices 0..total_traces-1 belong to the trace schedule;
+        traceroute sweeps follow, one per vantage in build order, so
+        every epoch in a study has a unique, schedule-independent
+        index that sequential and sharded execution agree on.
+        """
+        keys = list(self.world.vantage_hosts)
+        return self.world.params.schedule.total_traces + keys.index(vantage_key)
+
+    def run_traceroute_vantage(
+        self,
+        vantage_key: str,
+        targets: Sequence[int] | None = None,
+        ecn: ECN = ECN.ECT_0,
+        progress: ProgressFn | None = None,
+    ) -> list[PathTrace]:
+        """One vantage's hermetic traceroute sweep over all targets.
+
+        Like :meth:`run_planned`, this is the shared execution path of
+        the sequential campaign and runner shard workers: the sweep
+        runs in its own measurement epoch and is a pure function of
+        ``(params, vantage, targets)``.
+        """
+        host = self.world.vantage_hosts[vantage_key]
+        dsts = list(targets) if targets is not None else list(self.targets)
+        self.world.begin_epoch(self.traceroute_epoch(vantage_key))
+        paths: list[PathTrace] = []
+        for step, dst in enumerate(dsts):
+            if progress is not None:
+                progress(step, len(dsts), vantage_key)
+            path = run_traceroute(host, dst, ecn=ecn, params=self.probe_params)
+            # Traceroutes are keyed by vantage key, not hostname;
+            # for vantage hosts the two coincide by construction.
+            paths.append(
+                PathTrace(
+                    vantage_key=vantage_key,
+                    dst_addr=path.dst_addr,
+                    sent_ecn=path.sent_ecn,
+                    hops=path.hops,
+                    reached_destination=path.reached_destination,
+                )
+            )
+        return paths
+
     def run_traceroutes(
         self,
         vantage_keys: Iterable[str] | None = None,
@@ -179,23 +246,14 @@ class MeasurementApplication:
         dsts = list(targets) if targets is not None else list(self.targets)
         campaign = TracerouteCampaign()
         total = len(keys) * len(dsts)
-        step = 0
-        for key in keys:
-            host = self.world.vantage_hosts[key]
-            for dst in dsts:
+        for index, key in enumerate(keys):
+
+            def sweep_progress(step: int, _sweep_total: int, label: str) -> None:
                 if progress is not None:
-                    progress(step, total, key)
-                step += 1
-                path = run_traceroute(host, dst, ecn=ecn, params=self.probe_params)
-                # Traceroutes are keyed by vantage key, not hostname;
-                # for vantage hosts the two coincide by construction.
-                campaign.add(
-                    PathTrace(
-                        vantage_key=key,
-                        dst_addr=path.dst_addr,
-                        sent_ecn=path.sent_ecn,
-                        hops=path.hops,
-                        reached_destination=path.reached_destination,
-                    )
-                )
+                    progress(index * len(dsts) + step, total, label)
+
+            for path in self.run_traceroute_vantage(
+                key, dsts, ecn=ecn, progress=sweep_progress
+            ):
+                campaign.add(path)
         return campaign

@@ -115,6 +115,10 @@ class TraceSet:
     def add(self, trace: Trace) -> None:
         self.traces.append(trace)
 
+    def extend(self, traces: Iterable[Trace]) -> None:
+        """Append many traces (shard-merge support for repro.runner)."""
+        self.traces.extend(traces)
+
     def __len__(self) -> int:
         return len(self.traces)
 
@@ -281,6 +285,10 @@ class TracerouteCampaign:
 
     def add(self, path: PathTrace) -> None:
         self.paths.append(path)
+
+    def extend(self, paths: Iterable[PathTrace]) -> None:
+        """Append many paths (shard-merge support for repro.runner)."""
+        self.paths.extend(paths)
 
     def __len__(self) -> int:
         return len(self.paths)

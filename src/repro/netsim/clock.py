@@ -73,6 +73,17 @@ class SimClock:
             )
         self._now = when
 
+    def reset_to(self, when: float) -> None:
+        """Set the clock to ``when``, forwards or backwards.
+
+        Monotonicity is the invariant of a *running* simulation; a
+        hermetic epoch reset (no events pending, all stochastic state
+        reseeded) is the one place time may legally jump.  Use
+        :meth:`EventScheduler.reset_time`, which enforces the
+        empty-queue precondition, rather than calling this directly.
+        """
+        self._now = float(when)
+
     def advance_by(self, delta: float) -> None:
         """Move the clock forward by ``delta`` seconds (``delta >= 0``)."""
         if delta < 0:

@@ -20,7 +20,7 @@ from .errors import SimulationError
 class Event:
     """A scheduled callback.  Returned by :meth:`EventScheduler.schedule`."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_scheduler")
 
     def __init__(
         self,
@@ -28,16 +28,21 @@ class Event:
         seq: int,
         callback: Callable[..., None],
         args: tuple[Any, ...],
+        scheduler: "EventScheduler | None" = None,
     ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._scheduler is not None:
+                self._scheduler._note_removed(self)
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -62,6 +67,7 @@ class EventScheduler:
         self._heap: list[Event] = []
         self._seq = 0
         self._dispatched = 0
+        self._pending = 0
 
     @property
     def now(self) -> float:
@@ -70,8 +76,19 @@ class EventScheduler:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-cancelled events still queued.
+
+        Maintained as a live counter (updated on schedule, cancel and
+        dispatch) rather than recounted by scanning the heap: probe
+        code reads this on hot paths, and cancelled retransmission
+        timers stay in the heap lazily.
+        """
+        return self._pending
+
+    def _note_removed(self, event: Event) -> None:
+        """A queued event left the pending set (cancel or dispatch)."""
+        self._pending -= 1
+        event._scheduler = None
 
     @property
     def dispatched(self) -> int:
@@ -91,8 +108,9 @@ class EventScheduler:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: delay={delay!r}")
-        event = Event(self.clock.now + delay, self._seq, callback, args)
+        event = Event(self.clock.now + delay, self._seq, callback, args, scheduler=self)
         self._seq += 1
+        self._pending += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -119,6 +137,7 @@ class EventScheduler:
             return False
         self.clock.advance_to(event.time)
         self._dispatched += 1
+        self._note_removed(event)
         event.callback(*event.args)
         return True
 
@@ -159,8 +178,25 @@ class EventScheduler:
             heapq.heappop(self._heap)
             self.clock.advance_to(event.time)
             self._dispatched += 1
+            self._note_removed(event)
             count += 1
             event.callback(*event.args)
         if deadline > self.clock.now:
             self.clock.advance_to(deadline)
         return count
+
+    def reset_time(self, when: float) -> None:
+        """Jump the clock to ``when``, in any direction.
+
+        Only legal while no pending events are queued (the hermetic
+        boundary between measurement epochs — see
+        :meth:`repro.scenario.internet.SyntheticInternet.begin_epoch`).
+        Lingering lazily-cancelled events are discarded, so the heap
+        does not accumulate dead timers across epochs.
+        """
+        if self._pending:
+            raise SimulationError(
+                f"cannot reset time with {self._pending} pending events"
+            )
+        self._heap.clear()
+        self.clock.reset_to(when)

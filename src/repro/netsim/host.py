@@ -87,6 +87,27 @@ class Host:
         self.network = network
         self._rng = random.Random(rng_seed)
 
+    def reset_measurement_state(self, rng_seed: int) -> None:
+        """Reseed/reset every bit of state that evolves while probing.
+
+        Part of the hermetic-epoch contract (see
+        :meth:`repro.scenario.internet.SyntheticInternet.begin_epoch`):
+        after this call the host behaves exactly like a freshly built
+        one seeded with ``rng_seed``, so a shard replayed in another
+        process reproduces the same packets bit for bit.  Bound
+        listening sockets (NTP 123, HTTP 80) are configuration, not
+        evolved state, and are left alone.
+        """
+        self._rng = random.Random(rng_seed)
+        self._next_ephemeral = EPHEMERAL_BASE
+        if self.access.loss is not None:
+            self.access.loss.reset()
+        if self.access.upstream_aqm is not None:
+            self.access.upstream_aqm.reset()
+        reset_tcp = getattr(self.tcp, "reset_ephemeral_state", None)
+        if reset_tcp is not None:
+            reset_tcp()
+
     @property
     def now(self) -> float:
         """Current simulation time (requires attachment)."""

@@ -31,6 +31,14 @@ class LossModel:
         """Return True if the packet should be dropped."""
         raise NotImplementedError
 
+    def reset(self) -> None:
+        """Forget any evolved state (burst/outage position).
+
+        Called at measurement-epoch boundaries so that a shard's
+        outcome is a pure function of the epoch seed; stateless models
+        inherit this no-op.
+        """
+
 
 @dataclass
 class NoLoss(LossModel):
@@ -87,6 +95,9 @@ class GilbertElliottLoss(LossModel):
             return self.loss_good
         frac_bad = self.p_good_to_bad / denom
         return frac_bad * self.loss_bad + (1 - frac_bad) * self.loss_good
+
+    def reset(self) -> None:
+        self.in_bad_state = False
 
 
 @dataclass
@@ -149,6 +160,10 @@ class TimedOutageLoss(LossModel):
         """Whether ``now`` falls inside the current outage window."""
         return now < self._outage_until
 
+    def reset(self) -> None:
+        self._next_outage = -1.0
+        self._outage_until = 0.0
+
 
 class AQMDecision:
     """Outcome of an AQM check: pass, mark (CE), or drop."""
@@ -169,6 +184,9 @@ class AQMModel:
         drops the rest.
         """
         raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget evolved queue state (see :meth:`LossModel.reset`)."""
 
 
 @dataclass
@@ -248,3 +266,7 @@ class REDQueue(AQMModel):
         if ect_capable and self.ecn_capable_queue:
             return AQMDecision.MARK
         return AQMDecision.DROP
+
+    def reset(self) -> None:
+        self.avg_queue = 0.0
+        self.queue_len = 0

@@ -1,0 +1,150 @@
+"""repro.runner — sharded parallel campaign execution.
+
+The sequential study walks its trace schedule one epoch at a time in a
+single process.  This package partitions the same schedule into
+independent **shards** — one per ``(vantage, batch)`` slice of the
+trace plan, plus one per-vantage traceroute sweep — and executes them
+across a pool of worker processes.  Each worker deterministically
+rebuilds the synthetic Internet from ``(scale, seed)`` and runs its
+shards inside hermetic measurement epochs, so the merged study is
+**bit-identical** to a sequential run regardless of worker count,
+shard ordering, or mid-campaign retries.
+
+Layout:
+
+- :mod:`~repro.runner.shard` — partition a schedule into shards
+- :mod:`~repro.runner.worker` — execute one shard in a worker process
+- :mod:`~repro.runner.scheduler` — dispatch, retries, pool recovery
+- :mod:`~repro.runner.merge` — wire codec + deterministic reassembly
+- :mod:`~repro.runner.progress` — fold shard completions into the
+  sequential ``ProgressFn`` channel
+
+The high-level entry point is :func:`run_study_parallel`, which
+``Study.run(workers=N)`` and ``ecnudp study --workers N`` call.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.measurement import ProgressFn, trace_plan
+from ..core.traces import TraceSet, TracerouteCampaign
+from ..scenario.internet import SyntheticInternet
+from ..scenario.parameters import params_for_scale
+from .merge import (
+    MergeError,
+    WIRE_FORMAT,
+    decode_path,
+    decode_trace,
+    encode_path,
+    encode_trace,
+    merge_campaign,
+    merge_traces,
+)
+from .progress import ProgressAggregator
+from .scheduler import RetryPolicy, ShardExecutionError, ShardScheduler
+from .shard import KIND_TRACEROUTES, KIND_TRACES, Shard, plan_shards
+from .worker import (
+    FAULT_EXIT,
+    FAULT_RAISE,
+    FaultSpec,
+    InjectedShardFault,
+    ShardJob,
+    execute_shard,
+)
+
+__all__ = [
+    "FAULT_EXIT",
+    "FAULT_RAISE",
+    "FaultSpec",
+    "InjectedShardFault",
+    "KIND_TRACEROUTES",
+    "KIND_TRACES",
+    "MergeError",
+    "ProgressAggregator",
+    "RetryPolicy",
+    "Shard",
+    "ShardExecutionError",
+    "ShardJob",
+    "ShardScheduler",
+    "WIRE_FORMAT",
+    "decode_path",
+    "decode_trace",
+    "encode_path",
+    "encode_trace",
+    "execute_shard",
+    "merge_campaign",
+    "merge_traces",
+    "plan_shards",
+    "run_study_parallel",
+]
+
+
+def run_study_parallel(
+    scale: float,
+    seed: int,
+    workers: int,
+    targets: Sequence[int] | None = None,
+    world: SyntheticInternet | None = None,
+    traceroutes: bool = True,
+    progress: ProgressFn | None = None,
+    retry: RetryPolicy | None = None,
+    shard_timeout: float | None = None,
+    faults: Mapping[int, "FaultSpec"] | None = None,
+) -> tuple[TraceSet, TracerouteCampaign]:
+    """Execute a full study as parallel shards and merge the results.
+
+    The parent builds (or receives) the world and the probe-target
+    list — discovery runs exactly once, in the parent — then ships
+    only ``(scale, seed, targets, shard)`` to each worker.  Returns
+    ``(TraceSet, TracerouteCampaign)`` bit-identical to what the
+    sequential ``MeasurementApplication`` path produces.
+
+    ``faults`` maps shard ids to :class:`FaultSpec` and exists for the
+    fault-tolerance tests; production callers never pass it.
+    """
+    if world is None:
+        world = SyntheticInternet(params_for_scale(scale, seed))
+    if targets is None:
+        targets = [server.addr for server in world.servers]
+    target_tuple = tuple(targets)
+    schedule = world.params.schedule
+    plan = trace_plan(schedule)
+    shards = plan_shards(schedule, traceroutes=traceroutes)
+    fault_map = dict(faults) if faults else {}
+    jobs = [
+        ShardJob(
+            scale=scale,
+            seed=seed,
+            targets=target_tuple,
+            shard=shard,
+            fault=fault_map.get(shard.shard_id),
+        )
+        for shard in shards
+    ]
+    aggregator = ProgressAggregator(
+        progress, sum(shard.units(len(target_tuple)) for shard in shards)
+    )
+
+    def on_complete(job: ShardJob, _result: dict) -> None:
+        aggregator.shard_completed(job.shard, job.shard.units(len(target_tuple)))
+
+    scheduler = ShardScheduler(workers, retry=retry, shard_timeout=shard_timeout)
+    results = scheduler.run(jobs, on_complete=on_complete)
+    traces = merge_traces(
+        (r for r in results if r["kind"] == KIND_TRACES),
+        server_addrs=list(target_tuple),
+        description=(
+            "ECN/UDP reachability study: "
+            f"{len(plan)} traces x {len(target_tuple)} servers"
+        ),
+    )
+    campaign = (
+        merge_campaign(
+            (r for r in results if r["kind"] == KIND_TRACEROUTES),
+            vantage_order=list(world.vantage_hosts),
+        )
+        if traceroutes
+        else TracerouteCampaign()
+    )
+    return traces, campaign

@@ -1,0 +1,187 @@
+"""Deterministic reassembly of shard results.
+
+Shard results cross the process boundary as plain dicts of lists and
+scalars (a compact, version-tagged wire encoding — no pickled domain
+objects, so worker and parent never disagree about class identity).
+The decoders rebuild full-fidelity :class:`Trace` / :class:`PathTrace`
+objects — including the hop fields (`rtt`, `quoted_tos`,
+`quoted_ident`) that the archival JSON format drops — and the merge
+functions reassemble them in exactly the order the sequential path
+produces: traces ascending by ``trace_id`` (the schedule's plan
+order), traceroutes by vantage build order.  Because every epoch is a
+pure function of ``(params, epoch index)``, the merged study is
+bit-identical to a sequential run; ``tests/runner/test_equivalence.py``
+enforces that contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.traces import (
+    HopObservation,
+    PathTrace,
+    ProbeOutcome,
+    Trace,
+    TraceSet,
+    TracerouteCampaign,
+)
+
+#: Wire-format tag carried by every shard result.
+WIRE_FORMAT = "ecn-udp-shard/1"
+
+
+class MergeError(ValueError):
+    """A shard result could not be decoded or reassembled."""
+
+
+# ----------------------------------------------------------------------
+# Trace codec
+# ----------------------------------------------------------------------
+def encode_trace(trace: Trace) -> dict:
+    """Trace -> wire dict (outcome rows mirror the archival format)."""
+    return {
+        "trace_id": trace.trace_id,
+        "vantage_key": trace.vantage_key,
+        "batch": trace.batch,
+        "started_at": trace.started_at,
+        "outcomes": [
+            [
+                outcome.server_addr,
+                int(outcome.udp_plain),
+                int(outcome.udp_ect),
+                outcome.udp_plain_attempts,
+                outcome.udp_ect_attempts,
+                int(outcome.tcp_plain),
+                int(outcome.tcp_ecn),
+                int(outcome.ecn_negotiated),
+                outcome.http_status if outcome.http_status is not None else -1,
+            ]
+            for outcome in trace.outcomes.values()
+        ],
+    }
+
+
+def decode_trace(data: dict) -> Trace:
+    """Wire dict -> Trace (inverse of :func:`encode_trace`)."""
+    trace = Trace(
+        trace_id=data["trace_id"],
+        vantage_key=data["vantage_key"],
+        batch=data["batch"],
+        started_at=data["started_at"],
+    )
+    for row in data["outcomes"]:
+        trace.add(
+            ProbeOutcome(
+                server_addr=row[0],
+                udp_plain=bool(row[1]),
+                udp_ect=bool(row[2]),
+                udp_plain_attempts=row[3],
+                udp_ect_attempts=row[4],
+                tcp_plain=bool(row[5]),
+                tcp_ecn=bool(row[6]),
+                ecn_negotiated=bool(row[7]),
+                http_status=row[8] if row[8] >= 0 else None,
+            )
+        )
+    return trace
+
+
+# ----------------------------------------------------------------------
+# Traceroute codec
+# ----------------------------------------------------------------------
+def encode_path(path: PathTrace) -> dict:
+    """PathTrace -> wire dict, keeping the analysis-optional hop fields
+    (rtt, quoted TOS/ident) the archival format deliberately drops."""
+    return {
+        "vantage_key": path.vantage_key,
+        "dst_addr": path.dst_addr,
+        "sent_ecn": path.sent_ecn,
+        "reached_destination": path.reached_destination,
+        "hops": [
+            [
+                hop.ttl,
+                hop.responder,
+                hop.sent_ecn,
+                hop.quoted_ecn,
+                hop.rtt,
+                hop.quoted_tos,
+                hop.quoted_ident,
+            ]
+            for hop in path.hops
+        ],
+    }
+
+
+def decode_path(data: dict) -> PathTrace:
+    """Wire dict -> PathTrace (inverse of :func:`encode_path`)."""
+    path = PathTrace(
+        vantage_key=data["vantage_key"],
+        dst_addr=data["dst_addr"],
+        sent_ecn=data["sent_ecn"],
+        reached_destination=data["reached_destination"],
+    )
+    for ttl, responder, sent, quoted, rtt, tos, ident in data["hops"]:
+        path.hops.append(
+            HopObservation(
+                ttl=ttl,
+                responder=responder,
+                sent_ecn=sent,
+                quoted_ecn=quoted,
+                rtt=rtt,
+                quoted_tos=tos,
+                quoted_ident=ident,
+            )
+        )
+    return path
+
+
+# ----------------------------------------------------------------------
+# Reassembly
+# ----------------------------------------------------------------------
+def _check_format(result: dict) -> None:
+    if result.get("format") != WIRE_FORMAT:
+        raise MergeError(f"unknown shard wire format: {result.get('format')!r}")
+
+
+def merge_traces(
+    results: Iterable[dict],
+    server_addrs: Sequence[int],
+    description: str,
+) -> TraceSet:
+    """Reassemble trace-shard results into the sequential TraceSet.
+
+    The sequential study appends traces in plan order, which is
+    ascending ``trace_id`` by construction, so a sort restores it no
+    matter how shards raced.  Duplicate ids (a shard retried after a
+    partial failure whose first result nevertheless arrived) collapse
+    to a single copy — both are bit-identical by the epoch contract.
+    """
+    by_id: dict[int, Trace] = {}
+    for result in results:
+        _check_format(result)
+        for raw in result.get("traces", ()):
+            trace = decode_trace(raw)
+            by_id[trace.trace_id] = trace
+    trace_set = TraceSet(server_addrs=list(server_addrs), description=description)
+    trace_set.extend(by_id[trace_id] for trace_id in sorted(by_id))
+    return trace_set
+
+
+def merge_campaign(
+    results: Iterable[dict],
+    vantage_order: Sequence[str],
+) -> TracerouteCampaign:
+    """Reassemble traceroute-shard results in vantage build order."""
+    by_vantage: dict[str, list[PathTrace]] = {}
+    for result in results:
+        _check_format(result)
+        raw_paths = result.get("paths")
+        if not raw_paths:
+            continue
+        paths = [decode_path(raw) for raw in raw_paths]
+        by_vantage[paths[0].vantage_key] = paths
+    campaign = TracerouteCampaign()
+    for key in vantage_order:
+        campaign.extend(by_vantage.get(key, ()))
+    return campaign

@@ -1,0 +1,48 @@
+"""Progress aggregation across shards.
+
+The sequential study reports progress through a ``ProgressFn``
+callback, one call per trace.  Shards complete out of order and in
+parallel, so the aggregator folds per-shard completions back into
+that same channel: each completion advances a monotone unit counter
+(traces for trace shards, per-target probes for traceroute sweeps)
+and reports the index of the last finished unit, keeping existing
+consumers — the CLI's ``trace N/M`` line in particular — working
+unchanged under the parallel runner.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..core.measurement import ProgressFn
+from .shard import Shard
+
+
+class ProgressAggregator:
+    """Fold unordered shard completions into a ``ProgressFn`` stream."""
+
+    def __init__(self, progress: ProgressFn | None, total_units: int) -> None:
+        self._progress = progress
+        self._total = total_units
+        self._done = 0
+        # Completions arrive from whichever thread collects futures;
+        # the lock keeps the counter and callback ordering coherent.
+        self._lock = threading.Lock()
+
+    @property
+    def done_units(self) -> int:
+        return self._done
+
+    def shard_started(self, shard: Shard) -> None:
+        """Announce dispatch (index of the first not-yet-done unit)."""
+        if self._progress is None:
+            return
+        with self._lock:
+            self._progress(self._done, self._total, shard.label())
+
+    def shard_completed(self, shard: Shard, units: int) -> None:
+        """Record ``units`` finished units from ``shard``."""
+        with self._lock:
+            self._done = min(self._done + units, self._total)
+            if self._progress is not None and units > 0:
+                self._progress(self._done - 1, self._total, shard.label())

@@ -1,0 +1,262 @@
+"""Fault-tolerant shard scheduling over a process pool.
+
+The scheduler owns the lifecycle of a campaign's shards: dispatch to a
+``ProcessPoolExecutor``, collection in completion order, and recovery
+when a shard fails or its worker dies outright.  Failures are retried
+with capped exponential backoff up to a per-shard attempt budget; a
+broken pool (a worker killed hard enough to take the executor down —
+``BrokenProcessPool``) is rebuilt and the affected shards resubmitted.
+Because every shard is a pure function of ``(params, shard)``, a retry
+cannot produce a different result, so recovery never threatens the
+determinism contract — it only threatens wall-clock time.
+
+When ``workers <= 0``, or the platform cannot provide process pools at
+all (no ``multiprocessing`` semaphores in a sandbox, for instance),
+the scheduler degrades to in-process execution of the same jobs with
+the same retry policy, preserving behaviour exactly — just without
+the parallelism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .worker import ShardJob, execute_shard
+
+logger = logging.getLogger("repro.runner")
+
+#: Completion callback: (job, wire-format result dict).
+CompletionFn = Callable[[ShardJob, dict], None]
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard kept failing after exhausting its retry budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard to try before declaring a shard dead."""
+
+    #: Total executions allowed per shard (first try included).
+    max_attempts: int = 3
+    #: Base delay before a retry; doubles per attempt.
+    backoff: float = 0.25
+    #: Upper bound on any single backoff delay.
+    backoff_cap: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        return min(self.backoff * (2.0 ** max(attempt - 1, 0)), self.backoff_cap)
+
+
+class ShardScheduler:
+    """Run shard jobs across workers, retrying failures."""
+
+    def __init__(
+        self,
+        workers: int,
+        retry: RetryPolicy | None = None,
+        shard_timeout: float | None = None,
+    ) -> None:
+        self.workers = workers
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Seconds of *global* inactivity (no shard completing) after
+        #: which the pool is presumed hung, torn down, and all
+        #: in-flight shards resubmitted.  ``None`` disables the check.
+        self.shard_timeout = shard_timeout
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        jobs: Sequence[ShardJob],
+        on_complete: CompletionFn | None = None,
+    ) -> list[dict]:
+        """Execute every job; returns results in completion order."""
+        if not jobs:
+            return []
+        if self.workers <= 0:
+            return self._run_inline(jobs, on_complete)
+        executor_factory = self._executor_factory(len(jobs))
+        if executor_factory is None:
+            return self._run_inline(jobs, on_complete)
+        return self._run_pooled(jobs, executor_factory, on_complete)
+
+    # ------------------------------------------------------------------
+    # Degraded path: same jobs, same retry policy, one process
+    # ------------------------------------------------------------------
+    def _run_inline(
+        self,
+        jobs: Sequence[ShardJob],
+        on_complete: CompletionFn | None,
+    ) -> list[dict]:
+        results = []
+        for job in jobs:
+            while True:
+                try:
+                    result = execute_shard(job)
+                except Exception as exc:  # noqa: BLE001 - retry boundary
+                    job = self._next_attempt(job, exc)
+                    continue
+                break
+            results.append(result)
+            if on_complete is not None:
+                on_complete(job, result)
+        return results
+
+    # ------------------------------------------------------------------
+    # Pooled path
+    # ------------------------------------------------------------------
+    def _executor_factory(self, job_count: int):
+        """Build a zero-arg executor constructor, or None if the
+        platform cannot run process pools at all."""
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+        except ImportError as exc:  # pragma: no cover - exotic platforms
+            logger.warning("process pools unavailable (%s); running inline", exc)
+            return None
+        max_workers = min(self.workers, job_count)
+
+        def factory():
+            try:
+                executor = ProcessPoolExecutor(max_workers=max_workers)
+                # Fail fast on platforms where pool *creation* succeeds
+                # but workers cannot start (missing semaphores, locked-
+                # down sandboxes): surface it here, not mid-campaign.
+                executor.submit(_probe_worker).result(timeout=60)
+                return executor
+            except Exception as exc:  # noqa: BLE001 - capability probe
+                logger.warning(
+                    "cannot start worker processes (%s); running inline", exc
+                )
+                return None
+
+        return factory
+
+    def _run_pooled(
+        self,
+        jobs: Sequence[ShardJob],
+        executor_factory,
+        on_complete: CompletionFn | None,
+    ) -> list[dict]:
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        executor = executor_factory()
+        if executor is None:
+            return self._run_inline(jobs, on_complete)
+        results: list[dict] = []
+        pending = {executor.submit(execute_shard, job): job for job in jobs}
+        try:
+            while pending:
+                done, _ = wait(
+                    pending, timeout=self.shard_timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # Nothing completed within the hang budget: the
+                    # pool is wedged.  Abandon it and start over with
+                    # the shards still owed.
+                    owed = list(pending.values())
+                    pending.clear()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = self._require_executor(executor_factory)
+                    pending = self._gang_retry(
+                        executor, owed, TimeoutError("no shard completed in time")
+                    )
+                    continue
+                completed: list[tuple[ShardJob, dict]] = []
+                failed: list[tuple[ShardJob, Exception]] = []
+                crashed: list[ShardJob] = []
+                pool_error: Exception | None = None
+                for future in done:
+                    job = pending.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool as exc:
+                        crashed.append(job)
+                        pool_error = exc
+                    except Exception as exc:  # noqa: BLE001 - retry boundary
+                        failed.append((job, exc))
+                    else:
+                        completed.append((job, result))
+                for job, result in completed:
+                    results.append(result)
+                    if on_complete is not None:
+                        on_complete(job, result)
+                if crashed:
+                    # A worker died hard and took the pool with it.  The
+                    # executor cannot say which job it was running, so
+                    # every uncollected shard is charged one attempt and
+                    # resubmitted on a fresh pool: the guilty shard is
+                    # guaranteed to burn budget, and a fault that keeps
+                    # killing workers exhausts everyone and aborts.
+                    owed = crashed + [job for job, _ in failed]
+                    owed.extend(pending.values())
+                    pending.clear()
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = self._require_executor(executor_factory)
+                    pending = self._gang_retry(executor, owed, pool_error)
+                else:
+                    for job, exc in failed:
+                        retry = self._next_attempt(job, exc)
+                        pending[executor.submit(execute_shard, retry)] = retry
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return results
+
+    def _gang_retry(self, executor, owed, cause: Exception):
+        """Charge one attempt to every shard still owed and resubmit.
+
+        Used when failure cannot be attributed to a single shard (dead
+        pool, global hang): one shared backoff, then all back in.
+        """
+        retries = [self._next_attempt(job, cause, sleep=False) for job in owed]
+        delay = max(
+            (self.retry.delay(retry.attempt) for retry in retries), default=0.0
+        )
+        if delay > 0:
+            time.sleep(delay)
+        return {executor.submit(execute_shard, retry): retry for retry in retries}
+
+    def _require_executor(self, executor_factory):
+        executor = executor_factory()
+        if executor is None:
+            raise ShardExecutionError(
+                "worker pool died and could not be rebuilt"
+            )
+        return executor
+
+    # ------------------------------------------------------------------
+    # Retry bookkeeping
+    # ------------------------------------------------------------------
+    def _next_attempt(
+        self, job: ShardJob, exc: Exception, sleep: bool = True
+    ) -> ShardJob:
+        attempt = job.attempt + 1
+        if attempt >= self.retry.max_attempts:
+            raise ShardExecutionError(
+                f"shard {job.shard.shard_id} ({job.shard.label()}) failed "
+                f"after {attempt} attempts: {exc}"
+            ) from exc
+        delay = self.retry.delay(attempt)
+        logger.warning(
+            "shard %d (%s) failed (%s); retry %d/%d in %.2fs",
+            job.shard.shard_id,
+            job.shard.label(),
+            exc,
+            attempt,
+            self.retry.max_attempts - 1,
+            delay,
+        )
+        if sleep and delay > 0:
+            time.sleep(delay)
+        return dataclasses.replace(job, attempt=attempt)
+
+
+def _probe_worker() -> bool:
+    """Trivial task proving worker processes actually start."""
+    return True

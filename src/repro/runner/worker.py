@@ -1,0 +1,101 @@
+"""Shard execution inside a worker process.
+
+A worker receives a :class:`ShardJob` — everything needed to rebuild
+the study context from scratch: ``(scale, seed)`` to rebuild the
+synthetic Internet through the canonical
+:func:`~repro.scenario.parameters.params_for_scale` mapping, the probe
+target list (discovery runs once, in the parent), and the shard to
+execute.  Worlds are cached per process, so a worker pays the build
+cost once and then runs any number of shards against it; hermetic
+measurement epochs guarantee the execution order across shards cannot
+influence results.
+
+Fault injection (:class:`FaultSpec`) exists for the scheduler's
+retry-path tests: a job can be told to raise — or hard-kill its worker
+process — while its attempt counter is below a threshold, which
+exercises exactly the recovery machinery a real crashed worker would.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..core.measurement import MeasurementApplication
+from ..scenario.internet import SyntheticInternet
+from ..scenario.parameters import params_for_scale
+from .merge import WIRE_FORMAT, encode_path, encode_trace
+from .shard import KIND_TRACES, Shard
+
+#: Fault kinds understood by :func:`execute_shard`.
+FAULT_RAISE = "raise"
+FAULT_EXIT = "exit"
+
+
+class InjectedShardFault(RuntimeError):
+    """Deliberate failure raised by a :class:`FaultSpec` (tests only)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fail a shard's first ``attempts`` executions (tests only)."""
+
+    kind: str = FAULT_RAISE
+    attempts: int = 1
+
+
+@dataclass(frozen=True)
+class ShardJob:
+    """A self-contained unit of work shipped to a worker process."""
+
+    scale: float
+    seed: int
+    targets: tuple[int, ...]
+    shard: Shard
+    attempt: int = 0
+    fault: FaultSpec | None = None
+
+
+#: Per-process world cache: building a synthetic Internet dominates
+#: small-shard runtime, and every shard of a study shares one.
+_WORLD_CACHE: dict[tuple[float, int], SyntheticInternet] = {}
+
+
+def _world_for(scale: float, seed: int) -> SyntheticInternet:
+    key = (scale, seed)
+    world = _WORLD_CACHE.get(key)
+    if world is None:
+        # One study's shards all share a world; drop other studies'
+        # worlds so long-lived pools don't accumulate topologies.
+        _WORLD_CACHE.clear()
+        world = SyntheticInternet(params_for_scale(scale, seed))
+        _WORLD_CACHE[key] = world
+    return world
+
+
+def execute_shard(job: ShardJob) -> dict:
+    """Run one shard to completion and return its wire-format result."""
+    if job.fault is not None and job.attempt < job.fault.attempts:
+        if job.fault.kind == FAULT_EXIT:
+            # Simulate a crashed/killed worker: bypass all exception
+            # handling, including the executor's own bookkeeping.
+            os._exit(1)
+        raise InjectedShardFault(
+            f"injected failure for shard {job.shard.shard_id} "
+            f"(attempt {job.attempt})"
+        )
+    world = _world_for(job.scale, job.seed)
+    app = MeasurementApplication(world, targets=list(job.targets))
+    shard = job.shard
+    result: dict = {
+        "format": WIRE_FORMAT,
+        "shard_id": shard.shard_id,
+        "kind": shard.kind,
+    }
+    if shard.kind == KIND_TRACES:
+        traces = app.run_planned(shard.planned_traces())
+        result["traces"] = [encode_trace(trace) for trace in traces]
+    else:
+        paths = app.run_traceroute_vantage(shard.vantage_key)
+        result["paths"] = [encode_path(path) for path in paths]
+    return result

@@ -46,6 +46,13 @@ from .deployment import (
 from .parameters import ScenarioParams, default_params
 from .vantages import VANTAGES, VantageSpec
 
+#: Simulated seconds reserved per measurement epoch.  Epoch ``i``
+#: starts at ``(i + 1) * MEASUREMENT_EPOCH_SPAN``; one trace (or one
+#: vantage's traceroute sweep) at full scale needs well under 2e5
+#: simulated seconds, so epochs never collide, while times stay small
+#: enough that float timestamps keep sub-microsecond resolution.
+MEASUREMENT_EPOCH_SPAN = 1_000_000.0
+
 
 @dataclass
 class ASInfo:
@@ -658,6 +665,40 @@ class SyntheticInternet:
         for server in self.servers:
             server.ntp.set_online(server.addr not in offline)
 
+    def begin_epoch(self, index: int) -> None:
+        """Enter measurement epoch ``index``: the hermetic reset.
+
+        A measurement epoch is the unit of deterministic replay — one
+        trace of the study schedule, or one vantage's traceroute sweep.
+        This resets *every* piece of state that evolves while probing
+        (clock, the network's packet RNG, per-host filter RNGs and
+        ephemeral-port/ISS counters, burst/outage loss-model state) to
+        a baseline derived only from ``(params.seed, index)``.  Two
+        consequences, both load-bearing for :mod:`repro.runner`:
+
+        * an epoch's measurements are a pure function of
+          ``(params, index)`` — a worker process that rebuilds this
+          world from the same params reproduces them bit for bit, no
+          matter which epochs it ran before;
+        * the sequential path and the sharded path share this exact
+          call, so their merged results are identical by construction.
+
+        Requires an idle simulation (no pending events), which is
+        always the case between probes.
+        """
+        self.network.scheduler.reset_time((index + 1) * MEASUREMENT_EPOCH_SPAN)
+        stream = _epoch_stream(self.params.seed, index)
+        self.network.rng.seed(stream)
+        for host_index, host in enumerate(self.topology.hosts.values()):
+            host.reset_measurement_state(
+                stream ^ (0x9E3779B1 * (host_index + 1) & 0xFFFFFFFF)
+            )
+        for _src, _dst, data in self.topology.graph.edges(data=True):
+            link = data.get("link")
+            if link is not None:
+                link.loss.reset()
+                link.aqm.reset()
+
     def _start_dns(self) -> DNSServer:
         """Publish the pool zones from the DNS infrastructure host."""
         dns = DNSServer(self._dns_host)
@@ -700,3 +741,16 @@ class SyntheticInternet:
 def _zone_region_name(region: Region) -> str:
     """DNS zone label for a region (e.g. 'north-america')."""
     return region.value.lower().replace(" ", "-")
+
+
+def _epoch_stream(seed: int, index: int) -> int:
+    """Derive the per-epoch RNG stream from the scenario seed.
+
+    A splitmix-style mix keeps neighbouring ``(seed, index)`` pairs far
+    apart in stream space so per-epoch streams are uncorrelated.
+    """
+    mixed = (seed * 1_000_003 + (index + 1) * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 30
+    mixed = (mixed * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 27
+    return mixed

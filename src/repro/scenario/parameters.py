@@ -182,6 +182,17 @@ def default_params(seed: int = 20150401) -> ScenarioParams:
     return ScenarioParams(seed=seed)
 
 
+def params_for_scale(scale: float, seed: int = 20150401) -> ScenarioParams:
+    """The canonical ``(scale, seed) -> params`` mapping.
+
+    Every entry point that materialises a world from a scale knob (the
+    CLI, :meth:`repro.study.Study.run`/``load``, and runner worker
+    processes rebuilding a shard's world) must agree on this mapping,
+    or the determinism contract between them silently breaks.
+    """
+    return default_params(seed) if scale >= 1.0 else scaled_params(scale, seed)
+
+
 def scaled_params(scale: float, seed: int = 20150401) -> ScenarioParams:
     """A proportionally smaller study preserving all rates.
 

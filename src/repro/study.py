@@ -39,7 +39,7 @@ from .reporting.export import (
 )
 from .reporting.report import full_report
 from .scenario.internet import SyntheticInternet
-from .scenario.parameters import default_params, scaled_params
+from .scenario.parameters import params_for_scale
 
 
 @dataclass
@@ -63,10 +63,18 @@ class Study:
         seed: int = 20150401,
         discover: bool = True,
         traceroutes: bool = True,
+        workers: int = 0,
+        progress=None,
     ) -> "Study":
-        """Execute the full §3 methodology at the given scale."""
-        params = default_params(seed) if scale >= 1.0 else scaled_params(scale, seed)
-        world = SyntheticInternet(params)
+        """Execute the full §3 methodology at the given scale.
+
+        ``workers=0`` (the default) runs the campaign sequentially in
+        this process; ``workers=N`` shards it across ``N`` worker
+        processes via :mod:`repro.runner`.  Both paths produce
+        bit-identical results — hermetic measurement epochs make every
+        trace a pure function of ``(params, trace id)``.
+        """
+        world = SyntheticInternet(params_for_scale(scale, seed))
         targets = None
         if discover:
             report = PoolDiscovery(
@@ -75,11 +83,26 @@ class Study:
                 world.pool.zone_names(),
             ).run()
             targets = report.addresses
-        app = MeasurementApplication(world, targets=targets)
-        traces = app.run_study()
-        campaign = (
-            app.run_traceroutes() if traceroutes else TracerouteCampaign()
-        )
+        if workers > 0:
+            from .runner import run_study_parallel
+
+            traces, campaign = run_study_parallel(
+                scale=scale,
+                seed=seed,
+                workers=workers,
+                targets=targets,
+                world=world,
+                traceroutes=traceroutes,
+                progress=progress,
+            )
+        else:
+            app = MeasurementApplication(world, targets=targets)
+            traces = app.run_study(progress=progress)
+            campaign = (
+                app.run_traceroutes(progress=progress)
+                if traceroutes
+                else TracerouteCampaign()
+            )
         return cls(
             world=world, traces=traces, campaign=campaign, scale=scale, seed=seed
         )
@@ -193,9 +216,8 @@ class Study:
         directory = Path(directory)
         manifest = json.loads((directory / "manifest.json").read_text())
         scale, seed = manifest["scale"], manifest["seed"]
-        params = default_params(seed) if scale >= 1.0 else scaled_params(scale, seed)
         return cls(
-            world=SyntheticInternet(params),
+            world=SyntheticInternet(params_for_scale(scale, seed)),
             traces=TraceSet.load(directory / "traces.json"),
             campaign=TracerouteCampaign.load(directory / "traceroutes.json"),
             scale=scale,

@@ -584,6 +584,20 @@ class TCPStack:
         """Remove a connection from the demux table."""
         self.connections.pop(conn.key, None)
 
+    def reset_ephemeral_state(self) -> None:
+        """Return port/ISS/ident counters to their built state.
+
+        Measurement-epoch boundary support: with these counters (and
+        any lingering demux entries) reset, the stack issues the exact
+        same ports and sequence numbers as a freshly constructed one,
+        which the hermetic shard-replay contract relies on.  Listeners
+        are configuration and survive the reset.
+        """
+        self.connections.clear()
+        self._next_iss = 1_000_000
+        self._next_port = 33000
+        self._next_ident = 1
+
     # ------------------------------------------------------------------
     # IP interface
     # ------------------------------------------------------------------

@@ -48,6 +48,29 @@ class TestTracePlan:
                 )
             )
 
+    def test_overflowing_batch1_rejected_before_partial_plan(self):
+        # Regression: the negative-remainder schedule used to build the
+        # whole batch-1 plan and then silently produce an empty batch 2
+        # (range over a negative count); it must fail up front instead.
+        with pytest.raises(ValueError, match="exceed the study total"):
+            trace_plan(
+                TraceScheduleParams(
+                    total_traces=5, batch1_traces_per_home_vantage=2
+                )
+            )
+
+    def test_negative_total_rejected(self):
+        with pytest.raises(ValueError, match="total_traces"):
+            trace_plan(TraceScheduleParams(total_traces=-1))
+
+    def test_exact_batch1_fill_allowed(self):
+        # total == batch-1 allocation is a valid schedule: no batch 2.
+        plan = trace_plan(
+            TraceScheduleParams(total_traces=6, batch1_traces_per_home_vantage=2)
+        )
+        assert len(plan) == 6
+        assert all(p.batch == 1 for p in plan)
+
 
 class TestMeasurement:
     def test_single_trace_covers_all_targets(self, fresh_world):

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.core.analysis",
     "repro.stats",
     "repro.reporting",
+    "repro.runner",
 ]
 
 
