@@ -1,0 +1,76 @@
+"""CI gate: observability must be cheap when it is switched off.
+
+The :mod:`repro.obs` layer promises that disabled instrumentation
+costs one falsey-predicate per call site.  A build cannot time itself
+against a hypothetical uninstrumented twin, so this check pins the
+contract from the other side: it times the same small sequential study
+with observability **disabled** and **enabled**, three runs each, and
+compares best-of-three wall clocks.
+
+If the disabled runs are more than ``--budget`` (default 5 %) slower
+than the enabled ones, the gating is broken or inverted — a disabled
+registry is doing real work — and the check fails.  The enabled-mode
+cost is reported for the record but not gated: counting ~1.5 M events
+is allowed to cost something.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_obs_overhead.py [--scale 0.03]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.study import Study
+
+
+def best_of(runs: int, scale: float, seed: int, collect_metrics: bool) -> float:
+    timings = []
+    for _ in range(runs):
+        started = time.perf_counter()
+        Study.run(scale=scale, seed=seed, collect_metrics=collect_metrics)
+        timings.append(time.perf_counter() - started)
+    return min(timings)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.03)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--runs", type=int, default=3)
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=0.05,
+        help="max tolerated disabled-vs-enabled slowdown (fraction)",
+    )
+    args = parser.parse_args(argv)
+
+    disabled = best_of(args.runs, args.scale, args.seed, collect_metrics=False)
+    enabled = best_of(args.runs, args.scale, args.seed, collect_metrics=True)
+    overhead = disabled / enabled - 1.0
+    print(
+        f"scale={args.scale} runs={args.runs}: "
+        f"disabled best {disabled:.2f}s, enabled best {enabled:.2f}s"
+    )
+    print(
+        f"disabled-mode overhead vs enabled: {overhead:+.1%} "
+        f"(budget {args.budget:.0%}); enabled-mode cost: "
+        f"{enabled / disabled - 1.0:+.1%}"
+    )
+    if overhead > args.budget:
+        print(
+            "FAIL: a study with observability disabled ran slower than one "
+            "with it enabled — the truthiness gate is not cheap when off",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: disabled observability is within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

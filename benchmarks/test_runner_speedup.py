@@ -15,6 +15,7 @@ more than a small tolerance; the printed ratio is the artefact.
 
 import time
 
+from repro.obs import RunTelemetry
 from repro.runner import run_study_parallel
 from repro.study import Study
 
@@ -28,16 +29,21 @@ def test_sharded_speedup(benchmark):
         t0 = time.perf_counter()
         sequential = Study.run(scale=SPEEDUP_SCALE, seed=BENCH_SEED)
         t1 = time.perf_counter()
+        telemetry = RunTelemetry()
         traces, campaign = run_study_parallel(
             scale=SPEEDUP_SCALE,
             seed=BENCH_SEED,
             workers=WORKERS,
             targets=sequential.traces.server_addrs,
+            # Timing only: worker-side metric registries would tax the
+            # parallel side of a comparison the sequential side escapes.
+            telemetry=telemetry,
+            observe=False,
         )
         t2 = time.perf_counter()
-        return sequential, traces, campaign, t1 - t0, t2 - t1
+        return sequential, traces, campaign, t1 - t0, t2 - t1, telemetry
 
-    sequential, traces, campaign, seq_s, par_s = benchmark.pedantic(
+    sequential, traces, campaign, seq_s, par_s, telemetry = benchmark.pedantic(
         run_both, rounds=1, iterations=1
     )
     ratio = seq_s / par_s if par_s > 0 else float("inf")
@@ -45,6 +51,9 @@ def test_sharded_speedup(benchmark):
         f"\nsequential {seq_s:.1f}s, workers={WORKERS} {par_s:.1f}s "
         f"(speedup x{ratio:.2f})"
     )
+    # Per-shard timing: where the parallel wall-clock actually went.
+    for line in telemetry.summary_lines():
+        print(line)
 
     # The speedup claim is only meaningful over identical work.
     assert traces.to_dict() == sequential.traces.to_dict()

@@ -30,9 +30,19 @@ from .core.discovery import PoolDiscovery
 from .core.measurement import MeasurementApplication
 from .core.traces import TraceSet, TracerouteCampaign
 from .netsim.ipv4 import format_addr
+from .obs import (
+    FilterError,
+    MetricsRegistry,
+    PathTracer,
+    RunTelemetry,
+    parse_filter,
+    render_metrics_report,
+)
 from .reporting.export import (
     export_figure_data,
+    export_metrics_json,
     export_summary_json,
+    export_telemetry_json,
     export_traces_csv,
 )
 from .reporting.report import full_report
@@ -56,6 +66,24 @@ def _analyses(world: SyntheticInternet, traces: TraceSet, campaign: TracerouteCa
 
 
 def cmd_study(args: argparse.Namespace) -> int:
+    trace_filter = getattr(args, "trace_packets", None)
+    workers = args.workers
+    if trace_filter is not None:
+        try:
+            parse_filter(trace_filter)
+        except FilterError as exc:
+            print(f"bad --trace-packets expression: {exc}", file=sys.stderr)
+            return 2
+        if workers > 0:
+            # Per-packet event streams have no wire encoding, so they
+            # cannot come back from shard workers.
+            print(
+                "--trace-packets requires sequential execution; "
+                "ignoring --workers",
+                file=sys.stderr,
+            )
+            workers = 0
+
     world = _build_world(args.scale, args.seed)
     print(f"built {world!r}", file=sys.stderr)
 
@@ -71,22 +99,38 @@ def cmd_study(args: argparse.Namespace) -> int:
     def progress(done: int, total: int, label: str) -> None:
         print(f"trace {done + 1}/{total} from {label}", file=sys.stderr)
 
-    if args.workers > 0:
+    metrics_snapshot = None
+    telemetry = None
+    tracer = PathTracer(match=trace_filter) if trace_filter is not None else None
+    if workers > 0:
         from .runner import run_study_parallel
 
         print(f"running sharded across {args.workers} workers", file=sys.stderr)
+        telemetry = RunTelemetry() if args.metrics else None
         traces, campaign = run_study_parallel(
             scale=args.scale,
             seed=args.seed,
-            workers=args.workers,
+            workers=workers,
             targets=report.addresses,
             world=world,
             progress=progress if args.verbose else None,
+            telemetry=telemetry,
         )
+        if telemetry is not None:
+            metrics_snapshot = telemetry.metrics
     else:
-        app = MeasurementApplication(world, targets=report.addresses)
-        traces = app.run_study(progress=progress if args.verbose else None)
-        campaign = app.run_traceroutes()
+        registry = MetricsRegistry() if args.metrics else None
+        if registry is not None or tracer is not None:
+            world.network.set_observability(registry, tracer)
+        try:
+            app = MeasurementApplication(world, targets=report.addresses)
+            traces = app.run_study(progress=progress if args.verbose else None)
+            campaign = app.run_traceroutes()
+        finally:
+            if registry is not None or tracer is not None:
+                world.network.set_observability(None, None)
+        if registry is not None:
+            metrics_snapshot = registry.snapshot()
 
     geo, reach, diff_a, diff_b, tcp, paths, corr = _analyses(world, traces, campaign)
     text = full_report(geo, reach, diff_a, diff_b, tcp, campaign, paths, corr)
@@ -101,12 +145,52 @@ def cmd_study(args: argparse.Namespace) -> int:
         campaign.save(out / "traceroutes.json")
         export_summary_json(out / "summary.json", geo, reach, tcp, paths, corr)
         export_traces_csv(out / "traces.csv", traces)
+        if metrics_snapshot is not None:
+            export_metrics_json(out / "metrics.json", metrics_snapshot)
+        if telemetry is not None:
+            export_telemetry_json(out / "telemetry.json", telemetry)
         export_figure_data(
             out / "figures", reach, tcp, diff_a, diff_b, tcp.pct_negotiated
         )
         (out / "report.txt").write_text(text + "\n")
         print(f"study written to {out}/", file=sys.stderr)
     print(text)
+    if tracer is not None:
+        print(f"\n== Packet trace ({trace_filter}) ==")
+        dumped = tracer.dump(max_lines=args.trace_limit)
+        print(dumped if dumped else "  (no packets matched)")
+    if metrics_snapshot is not None:
+        print()
+        print(render_metrics_report(metrics_snapshot, telemetry))
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    study = Path(args.study)
+    metrics_path = study / "metrics.json"
+    if not metrics_path.exists():
+        print(
+            f"no metrics.json in {study}/ — re-run the study with "
+            "`ecnudp study --metrics`",
+            file=sys.stderr,
+        )
+        return 2
+    snapshot = json.loads(metrics_path.read_text())
+    telemetry = None
+    telemetry_path = study / "telemetry.json"
+    if telemetry_path.exists():
+        document = json.loads(telemetry_path.read_text())
+        telemetry = RunTelemetry(
+            workers=document.get("workers", 0),
+            wall_seconds=document.get("wall_seconds", 0.0),
+            metrics=document.get("metrics", snapshot),
+            runner=document.get("runner", {}),
+        )
+        from .obs import ShardRecord
+
+        for entry in document.get("shards", []):
+            telemetry.record_shard(ShardRecord(**entry))
+    print(render_metrics_report(snapshot, telemetry))
     return 0
 
 
@@ -239,12 +323,27 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--workers", type=int, default=0,
                        help="worker processes for sharded execution "
                             "(0 = sequential; results are identical)")
+    study.add_argument("--metrics", action="store_true",
+                       help="collect simulation metrics (counters are "
+                            "identical for any --workers value)")
+    study.add_argument("--trace-packets", type=str, default=None,
+                       metavar="EXPR",
+                       help="trace packets matching a filter, e.g. "
+                            "'udp and dst 10.3.0.7' (forces sequential)")
+    study.add_argument("--trace-limit", type=int, default=200,
+                       help="max packet-trace lines to print")
     study.add_argument("--verbose", action="store_true")
     study.set_defaults(func=cmd_study)
 
     report = sub.add_parser("report", help="re-analyse a saved study")
     report.add_argument("--study", type=str, required=True)
     report.set_defaults(func=cmd_report)
+
+    metrics = sub.add_parser(
+        "metrics", help="render a saved study's metrics and telemetry"
+    )
+    metrics.add_argument("--study", type=str, required=True)
+    metrics.set_defaults(func=cmd_metrics)
 
     discover = sub.add_parser("discover", help="run pool discovery only")
     discover.add_argument("--scale", type=float, default=0.1)

@@ -19,7 +19,7 @@ from ..netsim.host import Host
 from ..netsim.icmp import ICMPMessage
 from ..netsim.ipv4 import IPv4Packet, PROTO_ICMP, PROTO_TCP, PROTO_UDP, format_addr
 from ..netsim.udp import UDPDatagram
-from ..tcp.segment import TCPSegment
+from ..tcp.segment import Flags, TCPSegment
 
 
 @dataclass(frozen=True)
@@ -44,7 +44,7 @@ class CapturedPacket:
         if self.udp is not None:
             detail = f"UDP {src}:{self.udp.src_port} > {dst}:{self.udp.dst_port} len={self.udp.length}"
         elif self.tcp is not None:
-            flags = str(self.tcp).split("flags=")[1].split(",")[0]
+            flags = "|".join(flag.name for flag in Flags if self.tcp.flags & flag) or "-"
             detail = f"TCP {src}:{self.tcp.src_port} > {dst}:{self.tcp.dst_port} [{flags}]"
         elif self.icmp is not None:
             detail = f"ICMP {src} > {dst} type={self.icmp.icmp_type} code={self.icmp.code}"

@@ -164,6 +164,9 @@ class MeasurementApplication:
                 progress(index, total, entry.vantage_key)
             self.world.enter_batch(entry.batch)
             self.world.begin_epoch(entry.trace_id)
+            metrics = self.world.network.metrics
+            if metrics:
+                metrics.incr("app.traces_run")
             traces.append(
                 self.run_trace(entry.vantage_key, entry.trace_id, entry.batch)
             )
@@ -214,6 +217,9 @@ class MeasurementApplication:
         host = self.world.vantage_hosts[vantage_key]
         dsts = list(targets) if targets is not None else list(self.targets)
         self.world.begin_epoch(self.traceroute_epoch(vantage_key))
+        metrics = self.world.network.metrics
+        if metrics:
+            metrics.incr("app.traceroute_sweeps")
         paths: list[PathTrace] = []
         for step, dst in enumerate(dsts):
             if progress is not None:

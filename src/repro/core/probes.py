@@ -112,6 +112,8 @@ def probe_tcp_ecn_usability(
                       deadline=deadline)
     fetch.conn.force_ce_once = True
     host.network.scheduler.run()
+    if not results:
+        raise RuntimeError("HTTP fetch did not resolve")  # pragma: no cover
     result = results[0]
     stats = fetch.conn.ecn_stats
     return ECNUsabilityResult(

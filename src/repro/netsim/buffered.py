@@ -74,7 +74,13 @@ class BufferedLink(Link):
     # ------------------------------------------------------------------
     # Transit
     # ------------------------------------------------------------------
-    def transit(self, packet: IPv4Packet, rng: random.Random) -> LinkOutcome:
+    def transit(
+        self,
+        packet: IPv4Packet,
+        rng: random.Random,
+        metrics=None,
+        tracer=None,
+    ) -> LinkOutcome:
         if self._clock is None:
             raise SimulationError(
                 f"BufferedLink {self.src}->{self.dst} has no clock bound"
@@ -82,22 +88,39 @@ class BufferedLink(Link):
         now = self._clock.now
         service = self.service_time(packet)
         backlog = self.occupancy(now, service)
+        traced = tracer and tracer.wants(packet)
+        hop = f"{self.src}->{self.dst}" if traced else ""
 
         if self.red is not None:
             self.red.observe_queue(backlog)
             decision = self.red.sample(rng, packet.ecn.is_ect)
+            if metrics:
+                metrics.incr(f"queue.{decision}")
             if decision == AQMDecision.DROP:
                 self.red_drops += 1
+                if traced:
+                    tracer.record(packet, hop, "aqm-drop", packet.ecn, packet.ecn)
                 return LinkOutcome(False, packet, self.delay, reason="aqm-drop")
             if decision == AQMDecision.MARK:
                 self.ce_marks += 1
+                before = packet.ecn
                 packet = packet.with_ecn(ECN.CE)
+                if traced:
+                    tracer.record(packet, hop, "aqm-mark", before, packet.ecn)
 
         if backlog >= self.queue_limit:
             self.tail_drops += 1
+            if metrics:
+                metrics.incr("queue.tail_drop")
+            if traced:
+                tracer.record(packet, hop, "tail-drop", packet.ecn, packet.ecn)
             return LinkOutcome(False, packet, self.delay, reason="aqm-drop")
 
         if self.loss.sample_loss(rng):
+            if metrics:
+                metrics.incr("link.loss")
+            if traced:
+                tracer.record(packet, hop, "loss", packet.ecn, packet.ecn)
             return LinkOutcome(False, packet, self.delay, reason="loss")
 
         depart = max(now, self._next_free) + service

@@ -41,8 +41,11 @@ class Event:
         """Prevent the event from firing.  Idempotent."""
         if not self.cancelled:
             self.cancelled = True
-            if self._scheduler is not None:
-                self._scheduler._note_removed(self)
+            scheduler = self._scheduler
+            if scheduler is not None:
+                scheduler._note_removed(self)
+                if scheduler.metrics:
+                    scheduler.metrics.incr("engine.cancelled")
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -68,6 +71,9 @@ class EventScheduler:
         self._seq = 0
         self._dispatched = 0
         self._pending = 0
+        #: Observability registry (``repro.obs``); falsey when disabled,
+        #: so dispatch/schedule pay one predicate per event when off.
+        self.metrics = None
 
     @property
     def now(self) -> float:
@@ -112,6 +118,9 @@ class EventScheduler:
         self._seq += 1
         self._pending += 1
         heapq.heappush(self._heap, event)
+        if self.metrics:
+            self.metrics.incr("engine.scheduled")
+            self.metrics.gauge_max("engine.heap_peak", len(self._heap))
         return event
 
     def schedule_at(
@@ -138,6 +147,8 @@ class EventScheduler:
         self.clock.advance_to(event.time)
         self._dispatched += 1
         self._note_removed(event)
+        if self.metrics:
+            self.metrics.incr("engine.dispatched")
         event.callback(*event.args)
         return True
 
@@ -148,16 +159,22 @@ class EventScheduler:
         ----------
         max_events:
             Optional safety valve; raises :class:`SimulationError` if
-            more than this many events are dispatched (useful to catch
-            runaway feedback loops in tests).
+            the queue still holds runnable events after exactly this
+            many dispatches (useful to catch runaway feedback loops in
+            tests).  The valve fires *before* event ``N + 1`` runs, so
+            a runaway loop never executes past its budget.
 
         Returns the number of events dispatched by this call.
         """
         count = 0
-        while self.step():
+        while True:
+            if max_events is not None and count >= max_events:
+                if self._pending:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                break
+            if not self.step():
+                break
             count += 1
-            if max_events is not None and count > max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
         return count
 
     def run_until(self, deadline: float) -> int:
@@ -179,6 +196,8 @@ class EventScheduler:
             self.clock.advance_to(event.time)
             self._dispatched += 1
             self._note_removed(event)
+            if self.metrics:
+                self.metrics.incr("engine.dispatched")
             count += 1
             event.callback(*event.args)
         if deadline > self.clock.now:

@@ -20,6 +20,7 @@ from .ipv4 import IPv4Packet, PROTO_ICMP, PROTO_TCP, PROTO_UDP, format_addr
 from .middlebox import Middlebox
 from .sockets import EPHEMERAL_BASE, EPHEMERAL_LIMIT, UDPHandler, UDPSocket
 from .udp import UDPDatagram
+from ..obs.metrics import proto_name
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .network import Network
@@ -127,12 +128,23 @@ class Host:
         """
         if self.network is None:
             raise SocketError(f"host {self.hostname!r} is not attached to a network")
+        metrics = self.network.metrics
+        tracer = self.network.tracer
+        now = self.network.scheduler.now
+        if metrics:
+            metrics.incr(f"host.tx.{proto_name(packet.protocol)}")
+        if tracer and tracer.wants(packet):
+            tracer.record(packet, self.hostname, "tx", packet.ecn, packet.ecn, time=now)
         for tap in self._taps:
-            tap("out", packet, self.network.scheduler.now)
+            tap("out", packet, now)
         for box in self.outbound_filters:
             verdict = box.process(packet, self._rng)
             if verdict.dropped:
+                if metrics:
+                    metrics.incr(f"middlebox.{box.name}")
                 return
+            if verdict.reason and metrics:
+                metrics.incr(f"middlebox.{box.name}")
             packet = verdict.packet
         self.network.send(packet, self)
 
@@ -189,11 +201,21 @@ class Host:
 
     def deliver(self, packet: IPv4Packet, now: float) -> None:
         """Entry point for packets arriving from the network."""
+        metrics = self.network.metrics if self.network is not None else None
+        tracer = self.network.tracer if self.network is not None else None
         for box in self.inbound_filters:
             verdict = box.process(packet, self._rng)
             if verdict.dropped:
+                if metrics:
+                    metrics.incr(f"middlebox.{box.name}")
                 return
+            if verdict.reason and metrics:
+                metrics.incr(f"middlebox.{box.name}")
             packet = verdict.packet
+        if metrics:
+            metrics.incr(f"host.rx.{proto_name(packet.protocol)}")
+        if tracer and tracer.wants(packet):
+            tracer.record(packet, self.hostname, "rx", packet.ecn, packet.ecn, time=now)
         for tap in self._taps:
             tap("in", packet, now)
         if packet.protocol == PROTO_UDP:

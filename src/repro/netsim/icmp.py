@@ -107,7 +107,11 @@ def quote_datagram(original: IPv4Packet, payload_bytes: int = CLASSIC_QUOTE_PAYL
     what makes the traceroute analysis work.
     """
     wire = original.encode()
-    limit = 20 + max(0, payload_bytes)
+    # Read the header length from the encoded datagram itself rather
+    # than assuming the 20-byte minimum: a quote must include the whole
+    # IP header (options and all) plus ``payload_bytes`` of transport.
+    ihl = (wire[0] & 0x0F) * 4
+    limit = ihl + max(0, payload_bytes)
     return wire[:limit]
 
 

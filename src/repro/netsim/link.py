@@ -44,25 +44,47 @@ class Link:
     loss: LossModel = field(default_factory=NoLoss)
     aqm: AQMModel = field(default_factory=NoCongestion)
 
-    def transit(self, packet: IPv4Packet, rng: random.Random) -> LinkOutcome:
+    def transit(
+        self,
+        packet: IPv4Packet,
+        rng: random.Random,
+        metrics=None,
+        tracer=None,
+    ) -> LinkOutcome:
         """Sample the fate of ``packet`` crossing this link.
 
         Order of operations matches a real egress interface: the AQM
         inspects the packet as it is enqueued (possibly dropping or
         CE-marking it), then the wire may lose it.  A CE mark rewrites
         only the ECN bits, preserving DSCP (RFC 3168).
+
+        ``metrics`` / ``tracer`` are the :mod:`repro.obs` hooks; falsey
+        when disabled (one predicate each), and never sampling ``rng``.
         """
         sample_delay = self.delay
         if self.jitter > 0:
             sample_delay += rng.random() * self.jitter
 
+        traced = tracer and tracer.wants(packet)
+        hop = f"{self.src}->{self.dst}" if traced else ""
         decision = self.aqm.sample(rng, packet.ecn.is_ect)
+        if metrics:
+            metrics.incr(f"queue.{decision}")
         if decision == AQMDecision.DROP:
+            if traced:
+                tracer.record(packet, hop, "aqm-drop", packet.ecn, packet.ecn)
             return LinkOutcome(False, packet, sample_delay, reason="aqm-drop")
         if decision == AQMDecision.MARK:
+            before = packet.ecn
             packet = packet.with_ecn(ECN.CE)
+            if traced:
+                tracer.record(packet, hop, "aqm-mark", before, packet.ecn)
 
         if self.loss.sample_loss(rng):
+            if metrics:
+                metrics.incr("link.loss")
+            if traced:
+                tracer.record(packet, hop, "loss", packet.ecn, packet.ecn)
             return LinkOutcome(False, packet, sample_delay, reason="loss")
         return LinkOutcome(True, packet, sample_delay)
 

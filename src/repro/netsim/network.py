@@ -65,6 +65,8 @@ class Network:
         scheduler: EventScheduler | None = None,
         seed: int = 0,
         mode: str = FAST,
+        metrics=None,
+        tracer=None,
     ) -> None:
         if mode not in (FAST, EVENT):
             raise NetSimError(f"unknown network mode {mode!r}")
@@ -75,9 +77,30 @@ class Network:
         self.rng = random.Random(seed)
         self.mode = mode
         self.counters = NetworkCounters()
+        #: Observability hooks (:mod:`repro.obs`); both falsey when
+        #: disabled so instrumented paths pay one predicate each.
+        self.metrics = metrics
+        self.tracer = tracer
+        self.scheduler.metrics = metrics
+        if tracer is not None:
+            tracer.clock = lambda: self.scheduler.now
         self._hop_cache: dict[tuple[str, str], tuple[tuple[Router, Link], ...]] = {}
         for index, host in enumerate(topology.hosts.values()):
             host.attach(self, rng_seed=seed ^ (0x9E3779B1 * (index + 1) & 0xFFFFFFFF))
+
+    def set_observability(self, metrics=None, tracer=None) -> None:
+        """(Un)install the metrics registry and packet tracer.
+
+        Passing ``None`` for either restores the zero-cost disabled
+        state; installation is instantaneous, so callers can scope
+        observation to exactly one campaign on a long-lived world (the
+        runner installs a fresh registry per shard this way).
+        """
+        self.metrics = metrics
+        self.tracer = tracer
+        self.scheduler.metrics = metrics
+        if tracer is not None:
+            tracer.clock = lambda: self.scheduler.now
 
     # ------------------------------------------------------------------
     # Path plumbing
@@ -141,8 +164,11 @@ class Network:
     ) -> tuple[bool, IPv4Packet, float]:
         """Sample a host's access link; returns (survived, packet, delay)."""
         access = host.access
+        metrics = self.metrics
         if access.upstream_aqm is not None and outbound:
             decision = access.upstream_aqm.sample(self.rng, packet.ecn.is_ect)
+            if metrics:
+                metrics.incr(f"queue.{decision}")
             if decision == AQMDecision.DROP:
                 self.counters.dropped_aqm += 1
                 self.counters.note("access-aqm-drop")
@@ -150,6 +176,8 @@ class Network:
             if decision == AQMDecision.MARK:
                 packet = packet.with_ecn(ECN.CE)
         if access.loss is not None and access.loss.sample_loss(self.rng):
+            if metrics:
+                metrics.incr("link.loss")
             self.counters.dropped_loss += 1
             self.counters.note("access-loss")
             return False, packet, access.delay
@@ -166,9 +194,11 @@ class Network:
         access_delay: float = 0.0,
     ) -> None:
         rng = self.rng
+        metrics = self.metrics
+        tracer = self.tracer
         elapsed = access_delay
         for router, link in hops:
-            result = router.process_transit(packet, rng)
+            result = router.process_transit(packet, rng, metrics, tracer)
             if result.verdict == HOP_DROP:
                 self.counters.dropped_middlebox += 1
                 self.counters.note(result.reason)
@@ -181,7 +211,7 @@ class Network:
             packet = result.packet
             if link is None:
                 break
-            outcome = link.transit(packet, rng)
+            outcome = link.transit(packet, rng, metrics, tracer)
             elapsed += outcome.delay
             if not outcome.delivered:
                 if outcome.reason == "aqm-drop":
@@ -206,7 +236,7 @@ class Network:
     ) -> None:
         rng = self.rng
         router, link = hops[index]
-        result = router.process_transit(packet, rng)
+        result = router.process_transit(packet, rng, self.metrics, self.tracer)
         if result.verdict == HOP_DROP:
             self.counters.dropped_middlebox += 1
             self.counters.note(result.reason)
@@ -222,7 +252,7 @@ class Network:
         if link is None:
             self._deliver_to_host(packet, 0.0)
             return
-        outcome = link.transit(packet, rng)
+        outcome = link.transit(packet, rng, self.metrics, self.tracer)
         if not outcome.delivered:
             if outcome.reason == "aqm-drop":
                 self.counters.dropped_aqm += 1

@@ -78,7 +78,13 @@ class Router:
         """Append a policy to the transit chain."""
         self.middleboxes.append(box)
 
-    def process_transit(self, packet: IPv4Packet, rng: random.Random) -> HopResult:
+    def process_transit(
+        self,
+        packet: IPv4Packet,
+        rng: random.Random,
+        metrics=None,
+        tracer=None,
+    ) -> HopResult:
         """Process a packet transiting this router.
 
         Order: middlebox chain first (a firewall in front of the
@@ -86,11 +92,36 @@ class Router:
         quotation is built from the packet *after* middlebox rewrites,
         so an upstream bleached mark is visible in the quote — exactly
         the observable the paper's Section 4.2 measures.
+
+        ``metrics`` / ``tracer`` are the optional observability hooks
+        (:mod:`repro.obs`); both are falsey when disabled, so the hop
+        stays a pure function of (router state, packet, RNG) and pays
+        one predicate per hook.  Instrumentation never draws from
+        ``rng``.
         """
+        traced = tracer and tracer.wants(packet)
         for box in self.middleboxes:
+            before = packet.ecn
             verdict = box.process(packet, rng)
             if verdict.dropped:
+                if metrics:
+                    metrics.incr(f"middlebox.{box.name}")
+                if traced:
+                    tracer.record(
+                        packet, self.router_id, f"drop:{box.name}", before, before
+                    )
                 return HopResult(HOP_DROP, packet, reason=f"{box.name}: {verdict.reason}")
+            if verdict.reason:
+                if metrics:
+                    metrics.incr(f"middlebox.{box.name}")
+                if traced:
+                    tracer.record(
+                        verdict.packet,
+                        self.router_id,
+                        f"middlebox:{box.name}",
+                        before,
+                        verdict.packet.ecn,
+                    )
             packet = verdict.packet
 
         if packet.ttl <= 1:
@@ -101,9 +132,20 @@ class Router:
             ):
                 expired = dataclasses.replace(packet, ttl=0)
                 icmp = time_exceeded(expired, self.icmp_quote_payload)
+            if metrics:
+                metrics.incr("router.ttl_expired")
+                if icmp is not None:
+                    metrics.incr("router.icmp_generated")
+            if traced:
+                action = "ttl-expired" if icmp is None else "ttl-expired+icmp"
+                tracer.record(packet, self.router_id, action, packet.ecn, packet.ecn)
             return HopResult(HOP_TTL_EXPIRED, packet, icmp=icmp, reason="ttl expired")
 
         packet = dataclasses.replace(packet, ttl=packet.ttl - 1)
+        if metrics:
+            metrics.incr("router.forwarded")
+        if traced:
+            tracer.record(packet, self.router_id, "forward", packet.ecn, packet.ecn)
         return HopResult(HOP_FORWARD, packet)
 
     def __repr__(self) -> str:

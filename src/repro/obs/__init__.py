@@ -1,0 +1,58 @@
+"""repro.obs — the simulation observability layer.
+
+Three cooperating pieces, all disabled by default and cheap when off:
+
+* :class:`MetricsRegistry` — deterministic named counters and
+  high-water gauges, updated by routers, queues, middleboxes, hosts,
+  the event engine and the runner.  Shard snapshots merge
+  bit-identically regardless of completion order
+  (:func:`merge_snapshots`).
+* :class:`PathTracer` — opt-in per-packet causality log: the ordered
+  ``(hop, action, ECN before/after)`` sequence of every packet
+  matching a filter (:func:`parse_filter` compiles the CLI's
+  tcpdump-flavoured expressions).
+* :class:`RunTelemetry` — per-shard timing, retry counts and the
+  merged metric snapshot for one campaign execution, exported next to
+  the archival JSON and rendered by ``ecnudp metrics``.
+
+Instrumented call sites are truthiness-gated (``if metrics: ...``), so
+with observability off every hot path pays one predicate and the
+archival output stays byte-identical to an uninstrumented build; see
+DESIGN.md's observability section for the overhead contract.
+"""
+
+from __future__ import annotations
+
+from .metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullRegistry,
+    empty_snapshot,
+    merge_snapshots,
+    proto_name,
+)
+from .tracing import (
+    FilterError,
+    PathEvent,
+    PathTracer,
+    group_flows,
+    parse_filter,
+)
+from .telemetry import RunTelemetry, ShardRecord, render_metrics_report
+
+__all__ = [
+    "FilterError",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "NullRegistry",
+    "PathEvent",
+    "PathTracer",
+    "RunTelemetry",
+    "ShardRecord",
+    "empty_snapshot",
+    "group_flows",
+    "merge_snapshots",
+    "parse_filter",
+    "proto_name",
+    "render_metrics_report",
+]

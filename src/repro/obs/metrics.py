@@ -1,0 +1,164 @@
+"""Deterministic process-local metrics: counters and gauges.
+
+The simulator's hot paths (link delivery, router forwarding, scheduler
+dispatch) are instrumented with *truthiness-gated* call sites::
+
+    if metrics:
+        metrics.incr("router.forwarded")
+
+so a disabled registry — ``None`` or the :data:`NULL_METRICS` sentinel,
+both falsey — costs exactly one predicate per call site.  A real
+:class:`MetricsRegistry` is always truthy.
+
+Determinism is the design constraint that shapes everything else:
+
+* counters are plain integer sums, so merging shard snapshots is
+  commutative and associative — the merged value is bit-identical
+  regardless of shard completion order;
+* gauges are **high-water marks** merged with ``max``, the only gauge
+  semantics that stays order-independent across shards;
+* snapshots and merges walk keys in sorted order, so serialised output
+  (JSON, reports) is stable byte for byte.
+
+No wall-clock, no RNG, no I/O: a registry observing a measurement
+epoch records a pure function of ``(params, epoch index)``, which is
+what lets ``tests/obs/test_metrics_equivalence.py`` demand that a
+``workers=4`` run's merged counters equal the sequential run's.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+class MetricsRegistry:
+    """A process-local registry of named counters and gauges."""
+
+    __slots__ = ("_counters", "_gauges")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+
+    def __bool__(self) -> bool:
+        return True
+
+    # ------------------------------------------------------------------
+    # Counters
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    # ------------------------------------------------------------------
+    # Gauges (high-water marks)
+    # ------------------------------------------------------------------
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if it is a new high."""
+        current = self._gauges.get(name)
+        if current is None or value > current:
+            self._gauges[name] = value
+
+    def gauge(self, name: str, default: float | None = None) -> float | None:
+        return self._gauges.get(name, default)
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-safe, key-sorted copy of the current state."""
+        return {
+            "counters": {name: self._counters[name] for name in sorted(self._counters)},
+            "gauges": {name: self._gauges[name] for name in sorted(self._gauges)},
+        }
+
+    def clear(self) -> None:
+        """Reset every counter and gauge."""
+        self._counters.clear()
+        self._gauges.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges)"
+        )
+
+
+class NullRegistry:
+    """The disabled registry: falsey, and every operation is a no-op.
+
+    Exists so code can hold "a registry" unconditionally and still let
+    truthiness-gated call sites skip all work.  :data:`NULL_METRICS` is
+    the shared instance; there is no reason to construct more.
+    """
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        pass
+
+    def counter(self, name: str) -> int:
+        return 0
+
+    def gauge_max(self, name: str, value: float) -> None:
+        pass
+
+    def gauge(self, name: str, default: float | None = None) -> float | None:
+        return default
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}}
+
+    def clear(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NullRegistry()"
+
+
+#: Shared disabled-registry sentinel.
+NULL_METRICS = NullRegistry()
+
+
+def empty_snapshot() -> dict:
+    """The snapshot of a registry nothing ever touched."""
+    return {"counters": {}, "gauges": {}}
+
+
+def merge_snapshots(snapshots: Iterable[Mapping]) -> dict:
+    """Fold metric snapshots into one, deterministically.
+
+    Counters sum; gauges take the max.  Input order cannot influence
+    the result (integer addition and ``max`` are commutative), and the
+    merged dict is key-sorted, so any permutation of the same snapshot
+    set serialises to identical bytes.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            current = gauges.get(name)
+            if current is None or value > current:
+                gauges[name] = value
+    return {
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "gauges": {name: gauges[name] for name in sorted(gauges)},
+    }
+
+
+#: Protocol-number -> short name, for per-protocol host counters.
+_PROTO_NAMES = {1: "icmp", 6: "tcp", 17: "udp"}
+
+
+def proto_name(protocol: int) -> str:
+    """Counter-friendly name for an IP protocol number."""
+    return _PROTO_NAMES.get(protocol, str(protocol))

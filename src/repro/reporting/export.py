@@ -137,6 +137,24 @@ def export_figure_data(
     return written
 
 
+def export_metrics_json(path: str | Path, snapshot: dict) -> dict:
+    """Write a metric snapshot (counters + gauges); returns the dict.
+
+    Snapshots from :meth:`repro.obs.MetricsRegistry.snapshot` and
+    :func:`repro.obs.merge_snapshots` are already key-sorted, so the
+    serialised bytes are stable across runs and shard orderings.
+    """
+    Path(path).write_text(json.dumps(snapshot, indent=2))
+    return snapshot
+
+
+def export_telemetry_json(path: str | Path, telemetry) -> dict:
+    """Write a :class:`repro.obs.RunTelemetry` document; returns it."""
+    payload = telemetry.to_dict()
+    Path(path).write_text(json.dumps(payload, indent=2))
+    return payload
+
+
 def export_traces_csv(path: str | Path, trace_set: TraceSet) -> int:
     """Flatten a trace set to CSV (one row per server per trace).
 

@@ -25,10 +25,12 @@ The high-level entry point is :func:`run_study_parallel`, which
 
 from __future__ import annotations
 
+import time
 from typing import Mapping, Sequence
 
 from ..core.measurement import ProgressFn, trace_plan
 from ..core.traces import TraceSet, TracerouteCampaign
+from ..obs import MetricsRegistry, RunTelemetry, ShardRecord, merge_snapshots
 from ..scenario.internet import SyntheticInternet
 from ..scenario.parameters import params_for_scale
 from .merge import (
@@ -41,7 +43,7 @@ from .merge import (
     merge_campaign,
     merge_traces,
 )
-from .progress import ProgressAggregator
+from .progress import ProgressAggregator, ProgressOverflowError
 from .scheduler import RetryPolicy, ShardExecutionError, ShardScheduler
 from .shard import KIND_TRACEROUTES, KIND_TRACES, Shard, plan_shards
 from .worker import (
@@ -62,6 +64,7 @@ __all__ = [
     "KIND_TRACES",
     "MergeError",
     "ProgressAggregator",
+    "ProgressOverflowError",
     "RetryPolicy",
     "Shard",
     "ShardExecutionError",
@@ -91,6 +94,8 @@ def run_study_parallel(
     retry: RetryPolicy | None = None,
     shard_timeout: float | None = None,
     faults: Mapping[int, "FaultSpec"] | None = None,
+    telemetry: RunTelemetry | None = None,
+    observe: bool | None = None,
 ) -> tuple[TraceSet, TracerouteCampaign]:
     """Execute a full study as parallel shards and merge the results.
 
@@ -99,6 +104,15 @@ def run_study_parallel(
     only ``(scale, seed, targets, shard)`` to each worker.  Returns
     ``(TraceSet, TracerouteCampaign)`` bit-identical to what the
     sequential ``MeasurementApplication`` path produces.
+
+    Passing a :class:`~repro.obs.RunTelemetry` turns observation on:
+    every shard runs under a fresh worker-side metrics registry, and
+    the telemetry object is filled in place with per-shard timing,
+    runner counters, and the deterministic merge of all shard metric
+    snapshots (deduplicated by shard id, so retries and recovery
+    cannot double-count).  ``observe=False`` keeps the timing and
+    runner counters but skips the worker-side registries — what the
+    speedup benchmark wants, since per-packet counting is not free.
 
     ``faults`` maps shard ids to :class:`FaultSpec` and exists for the
     fault-tolerance tests; production callers never pass it.
@@ -112,6 +126,8 @@ def run_study_parallel(
     plan = trace_plan(schedule)
     shards = plan_shards(schedule, traceroutes=traceroutes)
     fault_map = dict(faults) if faults else {}
+    if observe is None:
+        observe = telemetry is not None
     jobs = [
         ShardJob(
             scale=scale,
@@ -119,6 +135,7 @@ def run_study_parallel(
             targets=target_tuple,
             shard=shard,
             fault=fault_map.get(shard.shard_id),
+            observe=observe,
         )
         for shard in shards
     ]
@@ -126,11 +143,39 @@ def run_study_parallel(
         progress, sum(shard.units(len(target_tuple)) for shard in shards)
     )
 
-    def on_complete(job: ShardJob, _result: dict) -> None:
+    def on_complete(job: ShardJob, result: dict) -> None:
         aggregator.shard_completed(job.shard, job.shard.units(len(target_tuple)))
+        if telemetry is not None:
+            telemetry.record_shard(
+                ShardRecord(
+                    shard_id=job.shard.shard_id,
+                    kind=job.shard.kind,
+                    label=job.shard.label(),
+                    attempts=job.attempt + 1,
+                    elapsed=float(result.get("elapsed", 0.0)),
+                    units=job.shard.units(len(target_tuple)),
+                )
+            )
 
-    scheduler = ShardScheduler(workers, retry=retry, shard_timeout=shard_timeout)
+    runner_metrics = MetricsRegistry() if telemetry is not None else None
+    scheduler = ShardScheduler(
+        workers, retry=retry, shard_timeout=shard_timeout, metrics=runner_metrics
+    )
+    started = time.perf_counter()
     results = scheduler.run(jobs, on_complete=on_complete)
+    if telemetry is not None:
+        telemetry.workers = workers
+        telemetry.wall_seconds = time.perf_counter() - started
+        telemetry.runner = runner_metrics.snapshot()["counters"]
+        # Completion order must not influence the merged metrics, and
+        # a shard observed twice (gang recovery races) must count once.
+        by_shard = {}
+        for result in results:
+            if "metrics" in result:
+                by_shard.setdefault(result["shard_id"], result["metrics"])
+        telemetry.merge_metrics(
+            by_shard[shard_id] for shard_id in sorted(by_shard)
+        )
     traces = merge_traces(
         (r for r in results if r["kind"] == KIND_TRACES),
         server_addrs=list(target_tuple),

@@ -60,6 +60,7 @@ class ShardScheduler:
         workers: int,
         retry: RetryPolicy | None = None,
         shard_timeout: float | None = None,
+        metrics=None,
     ) -> None:
         self.workers = workers
         self.retry = retry if retry is not None else RetryPolicy()
@@ -67,6 +68,9 @@ class ShardScheduler:
         #: which the pool is presumed hung, torn down, and all
         #: in-flight shards resubmitted.  ``None`` disables the check.
         self.shard_timeout = shard_timeout
+        #: Parent-side :mod:`repro.obs` registry for runner counters
+        #: (``runner.shards_dispatched`` etc.); falsey when disabled.
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # Entry point
@@ -79,6 +83,8 @@ class ShardScheduler:
         """Execute every job; returns results in completion order."""
         if not jobs:
             return []
+        if self.metrics:
+            self.metrics.incr("runner.shards_dispatched", len(jobs))
         if self.workers <= 0:
             return self._run_inline(jobs, on_complete)
         executor_factory = self._executor_factory(len(jobs))
@@ -215,6 +221,8 @@ class ShardScheduler:
         pool, global hang): one shared backoff, then all back in.
         """
         retries = [self._next_attempt(job, cause, sleep=False) for job in owed]
+        if self.metrics:
+            self.metrics.incr("runner.shards_recovered", len(retries))
         delay = max(
             (self.retry.delay(retry.attempt) for retry in retries), default=0.0
         )
@@ -223,6 +231,8 @@ class ShardScheduler:
         return {executor.submit(execute_shard, retry): retry for retry in retries}
 
     def _require_executor(self, executor_factory):
+        if self.metrics:
+            self.metrics.incr("runner.pool_rebuilds")
         executor = executor_factory()
         if executor is None:
             raise ShardExecutionError(
@@ -242,6 +252,8 @@ class ShardScheduler:
                 f"shard {job.shard.shard_id} ({job.shard.label()}) failed "
                 f"after {attempt} attempts: {exc}"
             ) from exc
+        if self.metrics:
+            self.metrics.incr("runner.shards_retried")
         delay = self.retry.delay(attempt)
         logger.warning(
             "shard %d (%s) failed (%s); retry %d/%d in %.2fs",

@@ -19,9 +19,11 @@ exercises exactly the recovery machinery a real crashed worker would.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 
 from ..core.measurement import MeasurementApplication
+from ..obs.metrics import MetricsRegistry
 from ..scenario.internet import SyntheticInternet
 from ..scenario.parameters import params_for_scale
 from .merge import WIRE_FORMAT, encode_path, encode_trace
@@ -54,6 +56,9 @@ class ShardJob:
     shard: Shard
     attempt: int = 0
     fault: FaultSpec | None = None
+    #: When True the worker installs a fresh metrics registry around
+    #: this shard and ships its snapshot (plus timing) in the result.
+    observe: bool = False
 
 
 #: Per-process world cache: building a synthetic Internet dominates
@@ -92,10 +97,25 @@ def execute_shard(job: ShardJob) -> dict:
         "shard_id": shard.shard_id,
         "kind": shard.kind,
     }
-    if shard.kind == KIND_TRACES:
-        traces = app.run_planned(shard.planned_traces())
-        result["traces"] = [encode_trace(trace) for trace in traces]
-    else:
-        paths = app.run_traceroute_vantage(shard.vantage_key)
-        result["paths"] = [encode_path(path) for path in paths]
+    # A fresh registry per shard, installed only around the measurement
+    # itself, makes per-shard snapshots partition the sequential run's
+    # counters exactly: summing them reproduces the sequential totals
+    # bit for bit.  Cached worlds outlive shards, so always uninstall.
+    registry = MetricsRegistry() if job.observe else None
+    if registry is not None:
+        world.network.set_observability(registry)
+    started = time.perf_counter()
+    try:
+        if shard.kind == KIND_TRACES:
+            traces = app.run_planned(shard.planned_traces())
+            result["traces"] = [encode_trace(trace) for trace in traces]
+        else:
+            paths = app.run_traceroute_vantage(shard.vantage_key)
+            result["paths"] = [encode_path(path) for path in paths]
+    finally:
+        if registry is not None:
+            world.network.set_observability(None)
+    result["elapsed"] = time.perf_counter() - started
+    if registry is not None:
+        result["metrics"] = registry.snapshot()
     return result

@@ -17,6 +17,7 @@ manifest, exactly as the ``ecnudp report`` command does).
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -32,9 +33,12 @@ from .core.analysis.validation import InferenceQuality, validate_study
 from .core.discovery import PoolDiscovery
 from .core.measurement import MeasurementApplication
 from .core.traces import TraceSet, TracerouteCampaign
+from .obs import MetricsRegistry, PathTracer, RunTelemetry
 from .reporting.export import (
     export_figure_data,
+    export_metrics_json,
     export_summary_json,
+    export_telemetry_json,
     export_traces_csv,
 )
 from .reporting.report import full_report
@@ -51,6 +55,13 @@ class Study:
     campaign: TracerouteCampaign
     scale: float
     seed: int
+    #: Merged metric snapshot when the study ran with observation on
+    #: (``None`` otherwise — archival output stays byte-identical).
+    metrics: dict | None = None
+    #: Run telemetry (shard timing, retries) when observation was on.
+    telemetry: RunTelemetry | None = None
+    #: The packet tracer used during the run, if any.
+    tracer: PathTracer | None = None
     _cache: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
@@ -65,6 +76,8 @@ class Study:
         traceroutes: bool = True,
         workers: int = 0,
         progress=None,
+        collect_metrics: bool = False,
+        trace_filter: str | None = None,
     ) -> "Study":
         """Execute the full §3 methodology at the given scale.
 
@@ -73,6 +86,14 @@ class Study:
         processes via :mod:`repro.runner`.  Both paths produce
         bit-identical results — hermetic measurement epochs make every
         trace a pure function of ``(params, trace id)``.
+
+        ``collect_metrics=True`` turns the :mod:`repro.obs` layer on
+        for the measurement phase (never discovery, which runs once in
+        the parent either way — so sequential counters equal the sum
+        of shard counters).  ``trace_filter`` installs a
+        :class:`~repro.obs.PathTracer` for matching packets; tracing
+        records per-packet event streams that have no wire encoding,
+        so it requires ``workers=0``.
         """
         world = SyntheticInternet(params_for_scale(scale, seed))
         targets = None
@@ -83,9 +104,19 @@ class Study:
                 world.pool.zone_names(),
             ).run()
             targets = report.addresses
+        if trace_filter is not None and workers > 0:
+            raise ValueError(
+                "packet tracing is sequential-only: trace_filter requires "
+                "workers=0 (per-packet event streams are not shipped back "
+                "from shard workers)"
+            )
+        metrics_snapshot: dict | None = None
+        telemetry: RunTelemetry | None = None
+        tracer: PathTracer | None = None
         if workers > 0:
             from .runner import run_study_parallel
 
+            telemetry = RunTelemetry() if collect_metrics else None
             traces, campaign = run_study_parallel(
                 scale=scale,
                 seed=seed,
@@ -94,17 +125,44 @@ class Study:
                 world=world,
                 traceroutes=traceroutes,
                 progress=progress,
+                telemetry=telemetry,
             )
+            if telemetry is not None:
+                metrics_snapshot = telemetry.metrics
         else:
-            app = MeasurementApplication(world, targets=targets)
-            traces = app.run_study(progress=progress)
-            campaign = (
-                app.run_traceroutes(progress=progress)
-                if traceroutes
-                else TracerouteCampaign()
-            )
+            registry = MetricsRegistry() if collect_metrics else None
+            if trace_filter is not None:
+                tracer = PathTracer(match=trace_filter)
+            if registry is not None or tracer is not None:
+                world.network.set_observability(registry, tracer)
+            started = time.perf_counter()
+            try:
+                app = MeasurementApplication(world, targets=targets)
+                traces = app.run_study(progress=progress)
+                campaign = (
+                    app.run_traceroutes(progress=progress)
+                    if traceroutes
+                    else TracerouteCampaign()
+                )
+            finally:
+                if registry is not None or tracer is not None:
+                    world.network.set_observability(None, None)
+            if registry is not None:
+                metrics_snapshot = registry.snapshot()
+                telemetry = RunTelemetry(
+                    workers=0,
+                    wall_seconds=time.perf_counter() - started,
+                    metrics=metrics_snapshot,
+                )
         return cls(
-            world=world, traces=traces, campaign=campaign, scale=scale, seed=seed
+            world=world,
+            traces=traces,
+            campaign=campaign,
+            scale=scale,
+            seed=seed,
+            metrics=metrics_snapshot,
+            telemetry=telemetry,
+            tracer=tracer,
         )
 
     # ------------------------------------------------------------------
@@ -199,6 +257,13 @@ class Study:
             self.correlation,
         )
         export_traces_csv(directory / "traces.csv", self.traces)
+        # Observability artefacts are written only when observation was
+        # on: a study run with metrics disabled archives byte-identical
+        # output to one from a build without the obs layer at all.
+        if self.metrics is not None:
+            export_metrics_json(directory / "metrics.json", self.metrics)
+        if self.telemetry is not None:
+            export_telemetry_json(directory / "telemetry.json", self.telemetry)
         export_figure_data(
             directory / "figures",
             self.reachability,

@@ -97,3 +97,49 @@ class TestSummaries:
         icmp = [c for c in capture if c.icmp is not None]
         assert len(icmp) == 1
         assert "type=11" in icmp[0].summary()
+
+
+class TestSummaryFlags:
+    def test_tcp_flags_rendered_from_segment_fields(self):
+        """Regression: summary() used to recover flags by splitting the
+        segment's repr string; render them from the flag bits."""
+        from repro.core.capture import CapturedPacket
+        from repro.netsim.ipv4 import IPv4Packet, PROTO_TCP, parse_addr
+        from repro.tcp.segment import Flags, TCPSegment
+
+        segment = TCPSegment(
+            src_port=49152,
+            dst_port=80,
+            seq=1,
+            ack=0,
+            flags=Flags.SYN | Flags.ECE | Flags.CWR,
+        )
+        packet = IPv4Packet(
+            src=parse_addr("192.0.2.1"),
+            dst=parse_addr("198.51.100.1"),
+            protocol=PROTO_TCP,
+        )
+        captured = CapturedPacket(
+            time=0.0, direction="out", packet=packet, tcp=segment
+        )
+        summary = captured.summary()
+        assert "[SYN|ECE|CWR]" in summary
+        assert "49152" in summary and "80" in summary
+
+    def test_tcp_no_flags_renders_dash(self):
+        from repro.core.capture import CapturedPacket
+        from repro.netsim.ipv4 import IPv4Packet, PROTO_TCP, parse_addr
+        from repro.tcp.segment import Flags, TCPSegment
+
+        segment = TCPSegment(
+            src_port=1, dst_port=2, seq=0, ack=0, flags=Flags(0)
+        )
+        packet = IPv4Packet(
+            src=parse_addr("192.0.2.1"),
+            dst=parse_addr("198.51.100.1"),
+            protocol=PROTO_TCP,
+        )
+        captured = CapturedPacket(
+            time=0.0, direction="out", packet=packet, tcp=segment
+        )
+        assert "[-]" in captured.summary()

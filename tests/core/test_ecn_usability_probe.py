@@ -52,3 +52,33 @@ class TestUsabilityProbe:
             if result.negotiated and result.ece_echoed:
                 usable += 1
         assert usable >= 0.8 * len(negotiators)
+
+
+class TestUnresolvedFetchGuard:
+    def test_raises_instead_of_indexerror_when_fetch_never_resolves(self, monkeypatch):
+        """Regression: an HTTP fetch whose callback never fired made
+        the probe crash with IndexError on ``results[0]``."""
+        import pytest
+
+        from repro.core import probes
+
+        class DummyConn:
+            force_ce_once = False
+
+        class DummyFetch:
+            def __init__(self, *args, **kwargs):
+                self.conn = DummyConn()
+
+        class DummyScheduler:
+            def run(self):
+                pass
+
+        class DummyNetwork:
+            scheduler = DummyScheduler()
+
+        class DummyHost:
+            network = DummyNetwork()
+
+        monkeypatch.setattr(probes, "HTTPFetch", DummyFetch)
+        with pytest.raises(RuntimeError, match="did not resolve"):
+            probes.probe_tcp_ecn_usability(DummyHost(), server_addr=1)

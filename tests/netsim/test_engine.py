@@ -132,3 +132,39 @@ class TestSafety:
             sched.schedule(1.0, lambda: None)
         sched.run()
         assert sched.dispatched == 5
+
+
+class TestMaxEventsBoundary:
+    """The safety valve fires after *exactly* N dispatches."""
+
+    def test_exact_budget_drains_cleanly(self):
+        sched = EventScheduler()
+        ran = []
+        for tag in range(5):
+            sched.schedule(1.0, ran.append, tag)
+        assert sched.run(max_events=5) == 5
+        assert ran == [0, 1, 2, 3, 4]
+
+    def test_valve_fires_before_excess_dispatch(self):
+        sched = EventScheduler()
+        ran = []
+
+        def forever():
+            ran.append(len(ran))
+            sched.schedule(0.0, forever)
+
+        sched.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sched.run(max_events=10)
+        # Regression: the valve used to let event N+1 run before
+        # raising.  Exactly the budget may execute, never more.
+        assert len(ran) == 10
+        assert sched.dispatched == 10
+
+    def test_zero_budget_with_pending_raises_immediately(self):
+        sched = EventScheduler()
+        ran = []
+        sched.schedule(0.0, ran.append, 1)
+        with pytest.raises(SimulationError):
+            sched.run(max_events=0)
+        assert ran == []

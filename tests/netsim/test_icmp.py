@@ -113,3 +113,40 @@ class TestConstructors:
         message = admin_prohibited(probe_packet())
         assert message.icmp_type == TYPE_DEST_UNREACHABLE
         assert message.code == 13
+
+
+class _OptionsPacket(IPv4Packet):
+    """An IPv4 packet whose wire form carries 4 bytes of options."""
+
+    def encode(self) -> bytes:
+        wire = bytearray(super().encode())
+        wire[0] = (4 << 4) | 6  # IHL = 6 words = 24 bytes
+        return bytes(wire[:20]) + b"\x01\x01\x01\x01" + bytes(wire[20:])
+
+
+class TestQuoteHeaderLength:
+    def test_quote_reads_ihl_from_wire(self):
+        """Regression: the quote limit hard-coded a 20-byte header, so
+        a datagram with IP options lost its last option bytes' worth of
+        transport payload from the quotation."""
+        base = probe_packet(payload_len=32)
+        packet = _OptionsPacket(
+            src=base.src,
+            dst=base.dst,
+            protocol=base.protocol,
+            payload=base.payload,
+            ttl=base.ttl,
+            tos=base.tos,
+            ident=base.ident,
+        )
+        quoted = quote_datagram(packet, CLASSIC_QUOTE_PAYLOAD)
+        # 24-byte header (options included) + 8 transport bytes.
+        assert len(quoted) == 24 + CLASSIC_QUOTE_PAYLOAD
+        assert quoted[:24] == packet.encode()[:24]
+        assert quoted[24:] == packet.encode()[24 : 24 + CLASSIC_QUOTE_PAYLOAD]
+
+    def test_optionless_quote_unchanged(self):
+        packet = probe_packet()
+        quoted = quote_datagram(packet, CLASSIC_QUOTE_PAYLOAD)
+        assert len(quoted) == 20 + CLASSIC_QUOTE_PAYLOAD
+        assert quoted == packet.encode()[: 20 + CLASSIC_QUOTE_PAYLOAD]

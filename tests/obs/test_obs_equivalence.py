@@ -1,0 +1,94 @@
+"""The observability determinism contracts, end to end.
+
+Two promises from DESIGN.md's observability section:
+
+1. Metrics are *deterministic*: a ``workers=N`` run's merged counters
+   are bit-identical to the sequential run's, for the same
+   ``(scale, seed)`` — sharding changes only who counts, never what.
+2. Observation is *inert*: collecting metrics must not perturb results,
+   and with observation off the archival output is byte-identical to a
+   build that never heard of ``repro.obs``.
+"""
+
+import json
+
+import pytest
+
+from repro.study import Study
+
+SCALE = 0.04
+SEED = 11
+
+ARCHIVE_FILES = ("summary.json", "traces.json", "traceroutes.json", "traces.csv")
+
+
+@pytest.fixture(scope="module")
+def sequential():
+    return Study.run(scale=SCALE, seed=SEED, collect_metrics=True)
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    return Study.run(scale=SCALE, seed=SEED, workers=4, collect_metrics=True)
+
+
+class TestCounterEquivalence:
+    def test_counters_bit_identical_across_sharding(self, sequential, sharded):
+        assert sequential.metrics["counters"] == sharded.metrics["counters"]
+
+    def test_gauges_identical_across_sharding(self, sequential, sharded):
+        assert sequential.metrics["gauges"] == sharded.metrics["gauges"]
+
+    def test_serialised_snapshots_identical(self, sequential, sharded):
+        assert json.dumps(sequential.metrics) == json.dumps(sharded.metrics)
+
+    def test_counters_nonempty_and_sane(self, sequential):
+        counters = sequential.metrics["counters"]
+        assert counters["app.traces_run"] == len(list(sequential.traces))
+        assert counters["router.forwarded"] > 0
+        assert counters["engine.dispatched"] > 0
+        # Dispatch + cancellation account for every scheduled event.
+        assert (
+            counters["engine.scheduled"]
+            == counters["engine.dispatched"] + counters["engine.cancelled"]
+        )
+
+    def test_telemetry_shard_accounting(self, sharded):
+        telemetry = sharded.telemetry
+        assert telemetry.workers == 4
+        assert len(telemetry.shards) == telemetry.runner["runner.shards_dispatched"]
+        assert telemetry.total_retries == 0
+        assert telemetry.metrics == sharded.metrics
+
+
+class TestObservationIsInert:
+    def test_results_unchanged_by_observation(self, sequential):
+        plain = Study.run(scale=SCALE, seed=SEED)
+        assert plain.metrics is None
+        assert plain.report() == sequential.report()
+
+    def test_archival_output_byte_identical(self, sequential, tmp_path):
+        plain = Study.run(scale=SCALE, seed=SEED)
+        plain_dir = plain.save(tmp_path / "plain")
+        observed_dir = sequential.save(tmp_path / "observed")
+        for name in ARCHIVE_FILES:
+            assert (observed_dir / name).read_bytes() == (
+                plain_dir / name
+            ).read_bytes(), name
+        # Observation adds artefacts; switched off, none appear.
+        assert (observed_dir / "metrics.json").exists()
+        assert (observed_dir / "telemetry.json").exists()
+        assert not (plain_dir / "metrics.json").exists()
+        assert not (plain_dir / "telemetry.json").exists()
+
+    def test_saved_metrics_round_trip(self, sequential, tmp_path):
+        directory = sequential.save(tmp_path / "study")
+        assert json.loads((directory / "metrics.json").read_text()) == sequential.metrics
+        document = json.loads((directory / "telemetry.json").read_text())
+        assert document["metrics"] == sequential.metrics
+
+
+class TestTracingGuards:
+    def test_trace_filter_requires_sequential(self):
+        with pytest.raises(ValueError, match="sequential-only"):
+            Study.run(scale=SCALE, seed=SEED, workers=2, trace_filter="udp")

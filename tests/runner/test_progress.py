@@ -1,0 +1,48 @@
+"""Tests for progress aggregation, including overflow handling."""
+
+import logging
+
+import pytest
+
+from repro.runner import ProgressAggregator, ProgressOverflowError
+from repro.runner.shard import KIND_TRACES, Shard
+
+
+def shard(shard_id=0):
+    return Shard(shard_id=shard_id, kind=KIND_TRACES, vantage_key="v", batch=1,
+                 trace_ids=(0, 1))
+
+
+class TestAggregation:
+    def test_folds_completions_into_progress_stream(self):
+        calls = []
+        aggregator = ProgressAggregator(
+            lambda done, total, label: calls.append((done, total)), total_units=10
+        )
+        aggregator.shard_completed(shard(0), 4)
+        aggregator.shard_completed(shard(1), 6)
+        assert aggregator.done_units == 10
+        assert calls == [(3, 10), (9, 10)]
+
+
+class TestOverflow:
+    def test_overflow_logs_warning_and_clamps(self, caplog):
+        """Regression: overflow used to be silently clamped away."""
+        aggregator = ProgressAggregator(None, total_units=5)
+        aggregator.shard_completed(shard(0), 4)
+        with caplog.at_level(logging.WARNING, logger="repro.runner"):
+            aggregator.shard_completed(shard(1), 4)
+        assert aggregator.done_units == 5
+        assert any("progress overflow" in rec.message for rec in caplog.records)
+
+    def test_strict_mode_raises(self):
+        aggregator = ProgressAggregator(None, total_units=5, strict=True)
+        aggregator.shard_completed(shard(0), 4)
+        with pytest.raises(ProgressOverflowError, match="exceeds total 5"):
+            aggregator.shard_completed(shard(1), 4)
+
+    def test_exact_total_is_not_an_overflow(self, caplog):
+        aggregator = ProgressAggregator(None, total_units=8, strict=True)
+        aggregator.shard_completed(shard(0), 4)
+        aggregator.shard_completed(shard(1), 4)
+        assert aggregator.done_units == 8

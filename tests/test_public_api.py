@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.stats",
     "repro.reporting",
     "repro.runner",
+    "repro.obs",
 ]
 
 
