@@ -1,0 +1,183 @@
+"""Benchmark regression gate: fail CI when the pipeline gets slower.
+
+Compares a fresh ``pytest --benchmark-json`` run of the gated
+benchmarks (``test_headline_scalars``, ``test_runner_speedup``)
+against the committed ``BENCH_baseline.json`` and exits non-zero when
+any benchmark slowed down by more than the threshold (default 20 %).
+
+Raw wall-clock comparisons across machines are meaningless, so both
+the baseline and the check normalise by a **calibration workload**: a
+fixed pure-Python loop (dict churn + RNG draws, the same operations
+that dominate the simulator) timed on the same interpreter and
+machine.  What is compared is the ratio ``benchmark_seconds /
+calibration_seconds`` — "how many calibration units does this
+benchmark cost" — which is stable across hardware generations to well
+within the 20 % budget.
+
+Usage::
+
+    # run the gated benchmarks
+    pytest benchmarks/test_headline_scalars.py benchmarks/test_runner_speedup.py \
+        --benchmark-json=bench.json
+
+    # gate (CI)
+    python benchmarks/check_regression.py --current bench.json
+
+    # refresh the committed baseline (after a deliberate perf change)
+    python benchmarks/check_regression.py --current bench.json --update
+
+Environment: ``ECNUDP_BENCH_TOLERANCE`` overrides the slowdown factor
+(e.g. ``1.5`` on noisy shared runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_baseline.json"
+DEFAULT_TOLERANCE = 1.20
+CALIBRATION_ROUNDS = 5
+
+
+def calibration_seconds() -> float:
+    """Time the fixed calibration workload (best of several rounds).
+
+    Best-of is deliberate: scheduling noise only ever makes a round
+    slower, so the minimum is the least noisy estimate of the machine's
+    actual speed.
+    """
+    best = float("inf")
+    for _ in range(CALIBRATION_ROUNDS):
+        started = time.perf_counter()
+        _calibration_workload()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _calibration_workload() -> int:
+    # Mirrors the simulator's hot loop profile: RNG draws, small-int
+    # arithmetic, dict writes.  Must never change once baselined —
+    # treat it like a wire format.
+    rng = random.Random(20150401)
+    table: dict[int, int] = {}
+    acc = 0
+    for index in range(400_000):
+        value = rng.random()
+        acc += int(value * 4096)
+        table[index & 2047] = acc
+    return acc
+
+
+def extract_benchmarks(document: dict) -> dict[str, float]:
+    """Map benchmark name -> mean seconds from a pytest-benchmark JSON."""
+    results = {}
+    for entry in document.get("benchmarks", []):
+        results[entry["name"]] = float(entry["stats"]["mean"])
+    return results
+
+
+def check(
+    current: dict[str, float],
+    calibration: float,
+    baseline: dict,
+    tolerance: float,
+) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures = []
+    base_cal = float(baseline["calibration_seconds"])
+    base_marks = baseline["benchmarks"]
+    for name, base_seconds in base_marks.items():
+        if name not in current:
+            failures.append(f"benchmark {name!r} missing from current run")
+            continue
+        base_units = float(base_seconds) / base_cal
+        now_units = current[name] / calibration
+        ratio = now_units / base_units if base_units > 0 else float("inf")
+        verdict = "ok" if ratio <= tolerance else "REGRESSION"
+        print(
+            f"{name}: baseline {base_units:8.1f} units, "
+            f"current {now_units:8.1f} units "
+            f"(x{ratio:.2f}, budget x{tolerance:.2f}) {verdict}"
+        )
+        if ratio > tolerance:
+            failures.append(
+                f"{name} slowed down x{ratio:.2f} "
+                f"(budget x{tolerance:.2f})"
+            )
+    for name in sorted(set(current) - set(base_marks)):
+        print(f"{name}: not in baseline (informational only)")
+    return failures
+
+
+def write_baseline(
+    path: Path, current: dict[str, float], calibration: float
+) -> None:
+    document = {
+        "format": 1,
+        "calibration_seconds": calibration,
+        "benchmarks": {name: current[name] for name in sorted(current)},
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"baseline written to {path}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        required=True,
+        help="pytest-benchmark JSON from the fresh run",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline (default: BENCH_baseline.json at repo root)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(
+            os.environ.get("ECNUDP_BENCH_TOLERANCE", DEFAULT_TOLERANCE)
+        ),
+        help="max allowed slowdown factor (default 1.20 = +20%%)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current run instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    current = extract_benchmarks(json.loads(Path(args.current).read_text()))
+    if not current:
+        print("no benchmarks found in the current run", file=sys.stderr)
+        return 2
+    calibration = calibration_seconds()
+    print(f"calibration: {calibration * 1000:.1f} ms/round on this machine")
+
+    baseline_path = Path(args.baseline)
+    if args.update:
+        write_baseline(baseline_path, current, calibration)
+        return 0
+    if not baseline_path.exists():
+        print(f"baseline {baseline_path} missing; run with --update", file=sys.stderr)
+        return 2
+    failures = check(
+        current, calibration, json.loads(baseline_path.read_text()), args.tolerance
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("benchmark gate: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -87,6 +87,25 @@ def cmd_study(args: argparse.Namespace) -> int:
     world = _build_world(args.scale, args.seed)
     print(f"built {world!r}", file=sys.stderr)
 
+    fault_plan = None
+    if args.chaos is not None:
+        from .faults import generate_fault_plan
+
+        try:
+            fault_plan = generate_fault_plan(
+                world, profile=args.chaos, chaos_seed=args.chaos_seed
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        summary = fault_plan.summary()
+        print(
+            f"chaos profile={summary['profile']} seed={summary['chaos_seed']}: "
+            f"{summary['events']} events over "
+            f"{summary['epochs_touched']} epochs",
+            file=sys.stderr,
+        )
+
     discovery = PoolDiscovery(
         world.vantage_hosts["ugla-wired"], world.dns_addr, world.pool.zone_names()
     )
@@ -114,6 +133,7 @@ def cmd_study(args: argparse.Namespace) -> int:
             targets=report.addresses,
             world=world,
             progress=progress if args.verbose else None,
+            fault_plan=fault_plan,
             telemetry=telemetry,
         )
         if telemetry is not None:
@@ -122,6 +142,8 @@ def cmd_study(args: argparse.Namespace) -> int:
         registry = MetricsRegistry() if args.metrics else None
         if registry is not None or tracer is not None:
             world.network.set_observability(registry, tracer)
+        if fault_plan is not None:
+            world.install_fault_plan(fault_plan)
         try:
             app = MeasurementApplication(world, targets=report.addresses)
             traces = app.run_study(progress=progress if args.verbose else None)
@@ -129,6 +151,8 @@ def cmd_study(args: argparse.Namespace) -> int:
         finally:
             if registry is not None or tracer is not None:
                 world.network.set_observability(None, None)
+            if fault_plan is not None:
+                world.install_fault_plan(None)
         if registry is not None:
             metrics_snapshot = registry.snapshot()
 
@@ -138,9 +162,10 @@ def cmd_study(args: argparse.Namespace) -> int:
     if args.out:
         out = Path(args.out)
         out.mkdir(parents=True, exist_ok=True)
-        (out / "manifest.json").write_text(
-            json.dumps({"scale": args.scale, "seed": args.seed})
-        )
+        manifest: dict = {"scale": args.scale, "seed": args.seed}
+        if fault_plan is not None:
+            manifest["chaos"] = fault_plan.summary()
+        (out / "manifest.json").write_text(json.dumps(manifest))
         traces.save(out / "traces.json")
         campaign.save(out / "traceroutes.json")
         export_summary_json(out / "summary.json", geo, reach, tcp, paths, corr)
@@ -250,7 +275,7 @@ def cmd_traceroute(args: argparse.Namespace) -> int:
 
 
 def cmd_tracebox(args: argparse.Namespace) -> int:
-    from .core.tracebox import FIELD_DSCP, FIELD_ECN, run_tracebox
+    from .core.tracebox import run_tracebox
     from .netsim.ecn import dscp_from_tos, ecn_from_tos
 
     world = _build_world(args.scale, args.seed)
@@ -326,6 +351,14 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--metrics", action="store_true",
                        help="collect simulation metrics (counters are "
                             "identical for any --workers value)")
+    study.add_argument("--chaos", type=str, default=None,
+                       metavar="PROFILE",
+                       help="inject deterministic faults from a chaos "
+                            "profile (light/default/heavy/reroute); "
+                            "results still identical for any --workers")
+    study.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed for fault-plan generation (same seed "
+                            "+ profile = same plan)")
     study.add_argument("--trace-packets", type=str, default=None,
                        metavar="EXPR",
                        help="trace packets matching a filter, e.g. "

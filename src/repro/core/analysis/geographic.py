@@ -7,7 +7,7 @@ point cloud of Figure 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from ...geo.database import GeoDatabase

@@ -17,7 +17,7 @@ IP→AS mapping exactly as the paper cautions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Protocol
 
 from ...asmap.boundaries import classify_hop

@@ -9,7 +9,7 @@ reachable on average.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..traces import Trace, TraceSet
 

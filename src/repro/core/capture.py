@@ -10,8 +10,8 @@ e.g. that an ECN-setup SYN really left with ECE and CWR set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from dataclasses import dataclass
+from typing import Callable
 
 from ..netsim.ecn import ECN
 from ..netsim.errors import CodecError

@@ -17,7 +17,7 @@ blocking measurement binary would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..netsim.ecn import ECN
 from ..netsim.engine import Event

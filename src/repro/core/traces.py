@@ -12,11 +12,10 @@ holds them together with enough metadata to drive every analysis in
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
-from ..netsim.ecn import ECN
 
 
 @dataclass(slots=True)

@@ -1,0 +1,117 @@
+"""Named chaos profiles: how hostile should the Internet be today?
+
+A profile bundles per-epoch event rates and impairment strengths into
+a preset the CLI can name (``ecnudp study --chaos heavy``).  Rates are
+Bernoulli probabilities per (fault family, epoch); an epoch is one
+trace of the study schedule or one vantage's traceroute sweep, so a
+rate of 0.08 impairs roughly one epoch in twelve.
+
+Profiles only parameterise :func:`~repro.faults.events.generate_fault_plan`;
+the generated :class:`~repro.faults.events.FaultPlan` is the actual
+contract object, and hand-built plans never need a profile at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Event rates and strengths for plan generation."""
+
+    name: str
+    #: Per-epoch probability of one link flapping (lossy window).
+    link_flap_rate: float = 0.0
+    #: Per-epoch probability of one link developing a delay spike.
+    delay_spike_rate: float = 0.0
+    #: Per-epoch probability of one router blackholing (forces reroute).
+    blackhole_rate: float = 0.0
+    #: Per-epoch probability of a clean router starting to bleach.
+    bleach_on_rate: float = 0.0
+    #: Per-epoch probability of a deployed bleacher going dormant.
+    bleach_off_rate: float = 0.0
+    #: Per-epoch probability of one NTP server browning out.
+    brownout_rate: float = 0.0
+    #: Loss probability on a flapped link while the window is active.
+    flap_loss: float = 0.9
+    #: Added one-way delay (seconds) during a delay spike.
+    spike_delay: float = 0.35
+    #: Fraction of windows covering the whole epoch (the rest are
+    #: sub-windows, producing genuinely mid-measurement transitions).
+    whole_epoch_fraction: float = 0.5
+    #: Sub-window start offset bound (seconds into the epoch).
+    window_start_max: float = 240.0
+    #: Sub-window duration bounds (seconds).
+    duration_range: tuple[float, float] = (30.0, 360.0)
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "link_flap_rate",
+            "delay_spike_rate",
+            "blackhole_rate",
+            "bleach_on_rate",
+            "bleach_off_rate",
+            "brownout_rate",
+            "flap_loss",
+            "whole_epoch_fraction",
+        ):
+            value = getattr(self, attr)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{attr} out of range: {value!r}")
+
+
+PROFILES: dict[str, ChaosProfile] = {
+    profile.name: profile
+    for profile in (
+        ChaosProfile(
+            name="light",
+            link_flap_rate=0.02,
+            delay_spike_rate=0.02,
+            blackhole_rate=0.01,
+            bleach_on_rate=0.01,
+            bleach_off_rate=0.01,
+            brownout_rate=0.02,
+        ),
+        ChaosProfile(
+            name="default",
+            link_flap_rate=0.08,
+            delay_spike_rate=0.08,
+            blackhole_rate=0.03,
+            bleach_on_rate=0.04,
+            bleach_off_rate=0.03,
+            brownout_rate=0.06,
+        ),
+        ChaosProfile(
+            name="heavy",
+            link_flap_rate=0.25,
+            delay_spike_rate=0.25,
+            blackhole_rate=0.10,
+            bleach_on_rate=0.12,
+            bleach_off_rate=0.10,
+            brownout_rate=0.20,
+            flap_loss=1.0,
+            spike_delay=0.6,
+        ),
+        # Routing churn only: isolates the reroute/cache-invalidation
+        # machinery for experiments on path stability (§4.2's repeated
+        # traceroutes see routes change between sweeps).
+        ChaosProfile(
+            name="reroute",
+            blackhole_rate=0.25,
+        ),
+    )
+}
+
+
+def resolve_profile(profile: str | ChaosProfile) -> ChaosProfile:
+    """Look up a profile by name (or pass one through)."""
+    if isinstance(profile, ChaosProfile):
+        return profile
+    try:
+        return PROFILES[profile]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise ValueError(
+            f"unknown chaos profile {profile!r}; one of: {known}"
+        ) from None

@@ -14,7 +14,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from ..netsim.ipv4 import Prefix, format_addr
+from ..netsim.ipv4 import Prefix
 from ..netsim.routing import PrefixTrie
 from .regions import Country, Region
 

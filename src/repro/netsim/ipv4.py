@@ -11,7 +11,7 @@ sent — the core technique of the paper's Section 4.2.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from .checksum import internet_checksum
 from .ecn import ECN, ecn_from_tos, replace_ecn

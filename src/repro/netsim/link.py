@@ -43,6 +43,10 @@ class Link:
     jitter: float = 0.0
     loss: LossModel = field(default_factory=NoLoss)
     aqm: AQMModel = field(default_factory=NoCongestion)
+    #: Windowed impairment installed by :mod:`repro.faults` (a
+    #: :class:`~repro.faults.windows.LinkFault`); ``None`` in normal
+    #: operation, so an unfaulted link pays one attribute check.
+    fault: object | None = field(default=None, compare=False, repr=False)
 
     def transit(
         self,
@@ -67,6 +71,17 @@ class Link:
 
         traced = tracer and tracer.wants(packet)
         hop = f"{self.src}->{self.dst}" if traced else ""
+        fault = self.fault
+        if fault is not None and fault.active():
+            # A flapping physical layer loses (or delays) the packet
+            # before any queueing discipline sees it.
+            sample_delay += fault.extra_delay
+            if fault.sample_loss(rng):
+                if metrics:
+                    metrics.incr("faults.link_flap_drop")
+                if traced:
+                    tracer.record(packet, hop, "fault-flap", packet.ecn, packet.ecn)
+                return LinkOutcome(False, packet, sample_delay, reason="fault-flap")
         decision = self.aqm.sample(rng, packet.ecn.is_ect)
         if metrics:
             metrics.incr(f"queue.{decision}")

@@ -132,6 +132,22 @@ class NotECTDropper(Middlebox):
 
 
 @dataclass
+class ProtocolBlackhole(Middlebox):
+    """Silently drop every in-scope packet, regardless of marking.
+
+    Models a service (or box) that has gone entirely dark for some
+    traffic class — e.g. an NTP daemon browning out while the host's
+    IP stays live.  The fault-injection layer scopes instances by
+    protocol and wraps them in time windows (:mod:`repro.faults`).
+    """
+
+    name: str = "blackhole"
+
+    def apply(self, packet: IPv4Packet) -> Verdict:
+        return Verdict(DROP, packet, reason="blackholed")
+
+
+@dataclass
 class TOSBleacher(Middlebox):
     """Zero the entire TOS byte (clears DSCP and ECN together)."""
 

@@ -26,10 +26,10 @@ from .ecn import ECN
 from .engine import EventScheduler
 from .errors import NetSimError, RoutingError
 from .host import Host
-from .ipv4 import IPv4Packet, PROTO_ICMP, format_addr
+from .ipv4 import IPv4Packet, PROTO_ICMP
 from .link import Link
-from .queues import AQMDecision, NoCongestion, NoLoss
-from .router import HOP_DROP, HOP_FORWARD, HOP_TTL_EXPIRED, Router
+from .queues import AQMDecision
+from .router import HOP_DROP, HOP_TTL_EXPIRED, Router
 from .routing import RoutingTable
 from .topology import Topology
 
@@ -85,6 +85,9 @@ class Network:
         if tracer is not None:
             tracer.clock = lambda: self.scheduler.now
         self._hop_cache: dict[tuple[str, str], tuple[tuple[Router, Link], ...]] = {}
+        #: Routers currently blackholed by the fault layer; see
+        #: :meth:`set_excluded_routers`.
+        self.excluded_routers: frozenset[str] = frozenset()
         for index, host in enumerate(topology.hosts.values()):
             host.attach(self, rng_seed=seed ^ (0x9E3779B1 * (index + 1) & 0xFFFFFFFF))
 
@@ -126,6 +129,22 @@ class Network:
     def invalidate_routes(self) -> None:
         """Drop cached routes/hops after a topology change."""
         self.routing.invalidate()
+        self._hop_cache.clear()
+
+    def set_excluded_routers(self, excluded: frozenset[str]) -> None:
+        """Blackhole a set of routers: paths reroute around them.
+
+        Models a control-plane event (router death + IGP reconvergence)
+        rather than a per-packet impairment, so it is epoch-scoped by
+        the fault layer.  Both the routing table's path cache and this
+        network's derived hop cache are invalidated when the excluded
+        set changes; passing an empty set restores the built topology.
+        """
+        excluded = frozenset(excluded)
+        if excluded == self.excluded_routers:
+            return
+        self.excluded_routers = excluded
+        self.routing.set_excluded(excluded)
         self._hop_cache.clear()
 
     # ------------------------------------------------------------------

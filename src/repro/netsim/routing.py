@@ -91,6 +91,28 @@ class RoutingTable:
     def __init__(self, graph: nx.DiGraph) -> None:
         self._graph = graph
         self._path_cache: dict[tuple[Hashable, Hashable], tuple[Hashable, ...]] = {}
+        self._excluded: frozenset[Hashable] = frozenset()
+
+    @property
+    def excluded(self) -> frozenset[Hashable]:
+        """Routers currently withdrawn from path computation."""
+        return self._excluded
+
+    def set_excluded(self, excluded: frozenset[Hashable]) -> None:
+        """Withdraw a set of routers (blackholes) and recompute lazily.
+
+        Paths route *around* the excluded set, exactly as an IGP would
+        converge after the routers died; endpoints whose only access
+        router is excluded become unreachable (:class:`RoutingError`).
+        The path cache is dropped whenever the set actually changes —
+        callers holding derived caches (the network's hop cache) must
+        invalidate alongside.
+        """
+        excluded = frozenset(excluded)
+        if excluded == self._excluded:
+            return
+        self._excluded = excluded
+        self._path_cache.clear()
 
     def path(self, src: Hashable, dst: Hashable) -> tuple[Hashable, ...]:
         """Router-id sequence from ``src`` to ``dst`` inclusive.
@@ -98,14 +120,20 @@ class RoutingTable:
         Deterministic (ties broken by node order via Dijkstra's heap)
         and cached.  Raises :class:`RoutingError` if disconnected.
         """
+        excluded = self._excluded
+        if excluded and (src in excluded or dst in excluded):
+            raise RoutingError(f"no route from {src!r} to {dst!r} (blackholed)")
         if src == dst:
             return (src,)
         key = (src, dst)
         cached = self._path_cache.get(key)
         if cached is not None:
             return cached
+        graph = (
+            nx.restricted_view(self._graph, excluded, ()) if excluded else self._graph
+        )
         try:
-            nodes = nx.shortest_path(self._graph, src, dst, weight="weight")
+            nodes = nx.shortest_path(graph, src, dst, weight="weight")
         except (nx.NetworkXNoPath, nx.NodeNotFound) as exc:
             raise RoutingError(f"no route from {src!r} to {dst!r}") from exc
         result = tuple(nodes)

@@ -60,6 +60,10 @@ class RunTelemetry:
     metrics: dict = field(default_factory=empty_snapshot)
     #: Parent-side runner counters (dispatched/retried/recovered).
     runner: dict = field(default_factory=dict)
+    #: Audit summary of the fault plan applied, when the run was
+    #: chaotic (:meth:`repro.faults.FaultPlan.summary`); ``None`` for
+    #: an unimpaired run.
+    chaos: dict | None = None
 
     def record_shard(self, record: ShardRecord) -> None:
         self.shards.append(record)
@@ -83,7 +87,7 @@ class RunTelemetry:
 
     def to_dict(self) -> dict:
         """JSON-safe document, shards in shard-id order."""
-        return {
+        document = {
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
             "total_retries": self.total_retries,
@@ -94,6 +98,9 @@ class RunTelemetry:
             ],
             "metrics": self.metrics,
         }
+        if self.chaos is not None:
+            document["chaos"] = self.chaos
+        return document
 
     def summary_lines(self) -> list[str]:
         """The human-readable timing section (benchmark / CLI output)."""
@@ -101,6 +108,14 @@ class RunTelemetry:
             f"workers={self.workers} wall={self.wall_seconds:.2f}s "
             f"shards={len(self.shards)} retries={self.total_retries}"
         ]
+        if self.chaos is not None:
+            by_kind = self.chaos.get("by_kind", {})
+            kinds = " ".join(f"{kind}={by_kind[kind]}" for kind in sorted(by_kind))
+            lines.append(
+                f"  chaos profile={self.chaos.get('profile')} "
+                f"seed={self.chaos.get('chaos_seed')} "
+                f"events={self.chaos.get('events')} ({kinds})"
+            )
         for name in sorted(self.runner):
             lines.append(f"  {name} = {self.runner[name]}")
         busy = sum(record.elapsed for record in self.shards)

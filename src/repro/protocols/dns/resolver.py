@@ -17,7 +17,7 @@ from ...netsim.errors import CodecError
 from ...netsim.host import Host
 from ...netsim.ipv4 import IPv4Packet
 from ...netsim.udp import UDPDatagram
-from .message import DNS_PORT, DNSMessage, QTYPE_A, RCODE_NOERROR
+from .message import DNS_PORT, DNSMessage, QTYPE_A
 
 
 @dataclass

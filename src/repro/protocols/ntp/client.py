@@ -8,7 +8,7 @@ times in total, before the server is declared unreachable (§3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ...netsim.ecn import ECN

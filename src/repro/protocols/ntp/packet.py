@@ -10,7 +10,7 @@ quotations are realistic.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ...netsim.errors import CodecError
 

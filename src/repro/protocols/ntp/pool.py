@@ -11,8 +11,7 @@ July/August batch), which :meth:`NTPPool.apply_churn` reproduces.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
 
 POOL_DOMAIN = "pool.ntp.org"
 

@@ -30,6 +30,7 @@ from typing import Mapping, Sequence
 
 from ..core.measurement import ProgressFn, trace_plan
 from ..core.traces import TraceSet, TracerouteCampaign
+from ..faults.events import FaultPlan
 from ..obs import MetricsRegistry, RunTelemetry, ShardRecord, merge_snapshots
 from ..scenario.internet import SyntheticInternet
 from ..scenario.parameters import params_for_scale
@@ -48,6 +49,7 @@ from .scheduler import RetryPolicy, ShardExecutionError, ShardScheduler
 from .shard import KIND_TRACEROUTES, KIND_TRACES, Shard, plan_shards
 from .worker import (
     FAULT_EXIT,
+    FAULT_HANG,
     FAULT_RAISE,
     FaultSpec,
     InjectedShardFault,
@@ -57,6 +59,7 @@ from .worker import (
 
 __all__ = [
     "FAULT_EXIT",
+    "FAULT_HANG",
     "FAULT_RAISE",
     "FaultSpec",
     "InjectedShardFault",
@@ -94,6 +97,7 @@ def run_study_parallel(
     retry: RetryPolicy | None = None,
     shard_timeout: float | None = None,
     faults: Mapping[int, "FaultSpec"] | None = None,
+    fault_plan: FaultPlan | None = None,
     telemetry: RunTelemetry | None = None,
     observe: bool | None = None,
 ) -> tuple[TraceSet, TracerouteCampaign]:
@@ -116,6 +120,13 @@ def run_study_parallel(
 
     ``faults`` maps shard ids to :class:`FaultSpec` and exists for the
     fault-tolerance tests; production callers never pass it.
+
+    ``fault_plan`` is the simulation-level chaos schedule
+    (:class:`~repro.faults.FaultPlan`).  It ships inside every
+    :class:`ShardJob` and joins the worker's world-cache key, so each
+    worker installs the identical plan before its epochs run — the
+    merged chaotic study stays bit-identical to a sequential run given
+    the same plan.
     """
     if world is None:
         world = SyntheticInternet(params_for_scale(scale, seed))
@@ -136,6 +147,7 @@ def run_study_parallel(
             shard=shard,
             fault=fault_map.get(shard.shard_id),
             observe=observe,
+            fault_plan=fault_plan,
         )
         for shard in shards
     ]
@@ -167,6 +179,8 @@ def run_study_parallel(
         telemetry.workers = workers
         telemetry.wall_seconds = time.perf_counter() - started
         telemetry.runner = runner_metrics.snapshot()["counters"]
+        if fault_plan is not None:
+            telemetry.chaos = fault_plan.summary()
         # Completion order must not influence the merged metrics, and
         # a shard observed twice (gang recovery races) must count once.
         by_shard = {}

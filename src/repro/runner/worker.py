@@ -23,6 +23,7 @@ import time
 from dataclasses import dataclass
 
 from ..core.measurement import MeasurementApplication
+from ..faults.events import FaultPlan
 from ..obs.metrics import MetricsRegistry
 from ..scenario.internet import SyntheticInternet
 from ..scenario.parameters import params_for_scale
@@ -32,6 +33,7 @@ from .shard import KIND_TRACES, Shard
 #: Fault kinds understood by :func:`execute_shard`.
 FAULT_RAISE = "raise"
 FAULT_EXIT = "exit"
+FAULT_HANG = "hang"
 
 
 class InjectedShardFault(RuntimeError):
@@ -40,10 +42,17 @@ class InjectedShardFault(RuntimeError):
 
 @dataclass(frozen=True)
 class FaultSpec:
-    """Fail a shard's first ``attempts`` executions (tests only)."""
+    """Fail a shard's first ``attempts`` executions (tests only).
+
+    ``kind=FAULT_HANG`` sleeps ``hang_seconds`` before failing, wedging
+    the worker long enough to trip the scheduler's global
+    ``shard_timeout`` — the gang-recovery path a crashed worker never
+    reaches (its future resolves immediately).
+    """
 
     kind: str = FAULT_RAISE
     attempts: int = 1
+    hang_seconds: float = 30.0
 
 
 @dataclass(frozen=True)
@@ -59,21 +68,28 @@ class ShardJob:
     #: When True the worker installs a fresh metrics registry around
     #: this shard and ships its snapshot (plus timing) in the result.
     observe: bool = False
+    #: Chaos schedule applied by every worker identically (hashable, so
+    #: it participates in the per-process world cache key).
+    fault_plan: FaultPlan | None = None
 
 
 #: Per-process world cache: building a synthetic Internet dominates
 #: small-shard runtime, and every shard of a study shares one.
-_WORLD_CACHE: dict[tuple[float, int], SyntheticInternet] = {}
+_WORLD_CACHE: dict[tuple[float, int, FaultPlan | None], SyntheticInternet] = {}
 
 
-def _world_for(scale: float, seed: int) -> SyntheticInternet:
-    key = (scale, seed)
+def _world_for(
+    scale: float, seed: int, fault_plan: FaultPlan | None = None
+) -> SyntheticInternet:
+    key = (scale, seed, fault_plan)
     world = _WORLD_CACHE.get(key)
     if world is None:
         # One study's shards all share a world; drop other studies'
         # worlds so long-lived pools don't accumulate topologies.
         _WORLD_CACHE.clear()
         world = SyntheticInternet(params_for_scale(scale, seed))
+        if fault_plan is not None:
+            world.install_fault_plan(fault_plan)
         _WORLD_CACHE[key] = world
     return world
 
@@ -85,11 +101,17 @@ def execute_shard(job: ShardJob) -> dict:
             # Simulate a crashed/killed worker: bypass all exception
             # handling, including the executor's own bookkeeping.
             os._exit(1)
+        if job.fault.kind == FAULT_HANG:
+            # Simulate a wedged worker.  The parent abandons the pool
+            # when its hang budget expires; once the sleep ends this
+            # raise lands in the abandoned executor and frees the
+            # process, so tests don't leak sleeping workers past exit.
+            time.sleep(job.fault.hang_seconds)
         raise InjectedShardFault(
             f"injected failure for shard {job.shard.shard_id} "
             f"(attempt {job.attempt})"
         )
-    world = _world_for(job.scale, job.seed)
+    world = _world_for(job.scale, job.seed, job.fault_plan)
     app = MeasurementApplication(world, targets=list(job.targets))
     shard = job.shard
     result: dict = {

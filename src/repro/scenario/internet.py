@@ -21,7 +21,7 @@ from ..geo.database import GeoDatabase
 from ..geo.regions import Country, Region
 from ..netsim.host import AccessLink, Host
 from ..netsim.ipv4 import PROTO_TCP, PROTO_UDP, Prefix
-from ..netsim.link import Link, link_pair
+from ..netsim.link import link_pair
 from ..netsim.middlebox import ECTBleacher, ECTDropper, NotECTDropper
 from ..netsim.network import FAST, Network
 from ..netsim.queues import (
@@ -157,6 +157,10 @@ class SyntheticInternet:
 
         self.network = Network(self.topology, seed=self.params.seed + 1, mode=mode)
         self._bind_clocks()
+
+        #: Optional chaos layer (:mod:`repro.faults`); installed via
+        #: :meth:`install_fault_plan`, driven from :meth:`begin_epoch`.
+        self.fault_injector = None
 
         self._start_services()
         self._deploy_server_middleboxes()
@@ -698,6 +702,28 @@ class SyntheticInternet:
             if link is not None:
                 link.loss.reset()
                 link.aqm.reset()
+        if self.fault_injector is not None:
+            # After the pristine reset: revert the previous epoch's
+            # impairments and install this epoch's.  Installation draws
+            # no randomness, so the epoch stays a pure function of
+            # (params, index, plan).
+            self.fault_injector.begin_epoch(index, (index + 1) * MEASUREMENT_EPOCH_SPAN)
+
+    def install_fault_plan(self, plan) -> None:
+        """Attach (or detach, with ``None``) a :class:`~repro.faults.FaultPlan`.
+
+        Faults take effect from the next :meth:`begin_epoch`; detaching
+        reverts any impairments currently installed.
+        """
+        if self.fault_injector is not None:
+            self.fault_injector.revert()
+            self.network.set_excluded_routers(frozenset())
+        if plan is None or not plan.events:
+            self.fault_injector = None
+            return
+        from ..faults.injector import FaultInjector
+
+        self.fault_injector = FaultInjector(self, plan)
 
     def _start_dns(self) -> DNSServer:
         """Publish the pool zones from the DNS infrastructure host."""

@@ -78,6 +78,8 @@ class Study:
         progress=None,
         collect_metrics: bool = False,
         trace_filter: str | None = None,
+        faults=None,
+        chaos_seed: int = 0,
     ) -> "Study":
         """Execute the full §3 methodology at the given scale.
 
@@ -94,8 +96,28 @@ class Study:
         :class:`~repro.obs.PathTracer` for matching packets; tracing
         records per-packet event streams that have no wire encoding,
         so it requires ``workers=0``.
+
+        ``faults`` turns on the chaos layer (:mod:`repro.faults`): pass
+        a chaos-profile name (``"light"`` / ``"default"`` / ``"heavy"``
+        / ``"reroute"``) or a ready-made
+        :class:`~repro.faults.FaultPlan`.  A named profile is expanded
+        into a plan with :func:`~repro.faults.generate_fault_plan`
+        seeded by ``chaos_seed``; either way the plan is a pure value,
+        so sequential and sharded chaotic runs stay bit-identical.
         """
         world = SyntheticInternet(params_for_scale(scale, seed))
+        fault_plan = None
+        if faults is not None:
+            from .faults import FaultPlan, generate_fault_plan
+
+            if isinstance(faults, FaultPlan):
+                fault_plan = faults
+            else:
+                fault_plan = generate_fault_plan(
+                    world, profile=faults, chaos_seed=chaos_seed
+                )
+            if not fault_plan.events:
+                fault_plan = None
         targets = None
         if discover:
             report = PoolDiscovery(
@@ -125,6 +147,7 @@ class Study:
                 world=world,
                 traceroutes=traceroutes,
                 progress=progress,
+                fault_plan=fault_plan,
                 telemetry=telemetry,
             )
             if telemetry is not None:
@@ -135,6 +158,11 @@ class Study:
                 tracer = PathTracer(match=trace_filter)
             if registry is not None or tracer is not None:
                 world.network.set_observability(registry, tracer)
+            if fault_plan is not None:
+                # Installed after discovery, exactly as the parallel
+                # path does (workers install the plan; the parent's
+                # discovery never sees it).
+                world.install_fault_plan(fault_plan)
             started = time.perf_counter()
             try:
                 app = MeasurementApplication(world, targets=targets)
@@ -147,6 +175,10 @@ class Study:
             finally:
                 if registry is not None or tracer is not None:
                     world.network.set_observability(None, None)
+                if fault_plan is not None:
+                    # Leave the retained world pristine, matching the
+                    # parent-side world of a sharded run.
+                    world.install_fault_plan(None)
             if registry is not None:
                 metrics_snapshot = registry.snapshot()
                 telemetry = RunTelemetry(
@@ -154,6 +186,8 @@ class Study:
                     wall_seconds=time.perf_counter() - started,
                     metrics=metrics_snapshot,
                 )
+                if fault_plan is not None:
+                    telemetry.chaos = fault_plan.summary()
         return cls(
             world=world,
             traces=traces,
@@ -243,9 +277,13 @@ class Study:
         """Archive the study (manifest + datasets + summary + CSVs)."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        (directory / "manifest.json").write_text(
-            json.dumps({"scale": self.scale, "seed": self.seed})
-        )
+        manifest: dict = {"scale": self.scale, "seed": self.seed}
+        if self.telemetry is not None and self.telemetry.chaos is not None:
+            # Record that the archived data came from a chaotic run —
+            # load() rebuilds a pristine world, so ground-truth
+            # comparisons against these traces need this caveat.
+            manifest["chaos"] = self.telemetry.chaos
+        (directory / "manifest.json").write_text(json.dumps(manifest))
         self.traces.save(directory / "traces.json")
         self.campaign.save(directory / "traceroutes.json")
         export_summary_json(

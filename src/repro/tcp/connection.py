@@ -22,7 +22,7 @@ measures exactly this, is ECN:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from ..netsim.ecn import ECN, tos_byte

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import enum
 import struct
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..netsim.checksum import internet_checksum, pseudo_header
 from ..netsim.errors import CodecError

@@ -16,6 +16,8 @@ import pytest
 
 from repro.study import Study
 
+pytestmark = pytest.mark.slow
+
 SCALE = 0.04
 SEED = 11
 

@@ -10,6 +10,8 @@ import pytest
 
 from repro.study import Study
 
+pytestmark = pytest.mark.slow
+
 SCALE = 0.05
 SEEDS = (11, 20150401)
 

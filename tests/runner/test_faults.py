@@ -10,8 +10,10 @@ bit-identical to the fault-free sequential run.
 
 import pytest
 
+from repro.obs import RunTelemetry
 from repro.runner import (
     FAULT_EXIT,
+    FAULT_HANG,
     FAULT_RAISE,
     FaultSpec,
     RetryPolicy,
@@ -19,6 +21,8 @@ from repro.runner import (
     run_study_parallel,
 )
 from repro.study import Study
+
+pytestmark = [pytest.mark.slow, pytest.mark.chaos]
 
 SCALE = 0.02
 SEED = 11
@@ -83,6 +87,32 @@ def test_inline_fallback_retries_too(sequential):
     )
     assert traces.to_dict() == sequential.traces.to_dict()
     assert campaign.to_dict() == sequential.campaign.to_dict()
+
+
+def test_hung_worker_gang_recovered(sequential):
+    # A wedged worker never resolves its future, so the ordinary retry
+    # path can't see it; only the scheduler's global hang budget
+    # (shard_timeout) catches it.  The pool must be torn down, rebuilt,
+    # and every owed shard resubmitted — and the merged study must
+    # still be bit-identical.
+    telemetry = RunTelemetry()
+    traces, _campaign = run_study_parallel(
+        scale=SCALE,
+        seed=SEED,
+        workers=2,
+        targets=sequential.traces.server_addrs,
+        traceroutes=False,
+        retry=FAST_RETRY,
+        shard_timeout=5.0,
+        faults={0: FaultSpec(kind=FAULT_HANG, attempts=1, hang_seconds=30.0)},
+        telemetry=telemetry,
+        observe=False,
+    )
+    # Traces are identical whether or not traceroutes ran: hermetic
+    # epochs make the two phases independent.
+    assert traces.to_dict() == sequential.traces.to_dict()
+    assert telemetry.runner.get("runner.pool_rebuilds", 0) >= 1
+    assert telemetry.runner.get("runner.shards_recovered", 0) >= 1
 
 
 def test_progress_reaches_total(sequential):

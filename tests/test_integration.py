@@ -20,6 +20,8 @@ from repro.core.measurement import MeasurementApplication
 from repro.scenario.internet import SyntheticInternet
 from repro.scenario.parameters import scaled_params
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def pipeline():
