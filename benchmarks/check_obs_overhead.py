@@ -1,4 +1,4 @@
-"""CI gate: observability must be cheap when it is switched off.
+"""CI gate: observability must be cheap when off, spans cheap when on.
 
 The :mod:`repro.obs` layer promises that disabled instrumentation
 costs one falsey-predicate per call site.  A build cannot time itself
@@ -12,6 +12,10 @@ than the enabled ones, the gating is broken or inverted — a disabled
 registry is doing real work — and the check fails.  The enabled-mode
 cost is reported for the record but not gated: counting ~1.5 M events
 is allowed to cost something.
+
+Span recording gets its own gate: epoch-detail spans touch one context
+switch and one span per measurement epoch, so turning them on must
+cost at most ``--span-budget`` (default 5 %) over a spans-off run.
 
 Usage::
 
@@ -27,11 +31,22 @@ import time
 from repro.study import Study
 
 
-def best_of(runs: int, scale: float, seed: int, collect_metrics: bool) -> float:
+def best_of(
+    runs: int,
+    scale: float,
+    seed: int,
+    collect_metrics: bool,
+    record_spans: bool = False,
+) -> float:
     timings = []
     for _ in range(runs):
         started = time.perf_counter()
-        Study.run(scale=scale, seed=seed, collect_metrics=collect_metrics)
+        Study.run(
+            scale=scale,
+            seed=seed,
+            collect_metrics=collect_metrics,
+            record_spans=record_spans,
+        )
         timings.append(time.perf_counter() - started)
     return min(timings)
 
@@ -47,6 +62,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0.05,
         help="max tolerated disabled-vs-enabled slowdown (fraction)",
     )
+    parser.add_argument(
+        "--span-budget",
+        type=float,
+        default=0.05,
+        help="max tolerated cost of epoch-detail span recording (fraction)",
+    )
     args = parser.parse_args(argv)
 
     disabled = best_of(args.runs, args.scale, args.seed, collect_metrics=False)
@@ -61,14 +82,35 @@ def main(argv: list[str] | None = None) -> int:
         f"(budget {args.budget:.0%}); enabled-mode cost: "
         f"{enabled / disabled - 1.0:+.1%}"
     )
+    failed = False
     if overhead > args.budget:
         print(
             "FAIL: a study with observability disabled ran slower than one "
             "with it enabled — the truthiness gate is not cheap when off",
             file=sys.stderr,
         )
+        failed = True
+
+    spans_on = best_of(
+        args.runs, args.scale, args.seed, collect_metrics=False, record_spans=True
+    )
+    span_overhead = spans_on / disabled - 1.0
+    print(
+        f"span recording (epoch detail) best {spans_on:.2f}s; "
+        f"overhead vs spans-off: {span_overhead:+.1%} "
+        f"(budget {args.span_budget:.0%})"
+    )
+    if span_overhead > args.span_budget:
+        print(
+            "FAIL: epoch-detail span recording costs more than its budget — "
+            "the recorder is doing per-packet-scale work on the epoch path",
+            file=sys.stderr,
+        )
+        failed = True
+
+    if failed:
         return 1
-    print("OK: disabled observability is within budget")
+    print("OK: disabled observability and span recording are within budget")
     return 0
 
 

@@ -41,6 +41,7 @@ from .obs import (
 from .reporting.export import (
     export_figure_data,
     export_metrics_json,
+    export_spans_json,
     export_summary_json,
     export_telemetry_json,
     export_traces_csv,
@@ -68,6 +69,12 @@ def _analyses(world: SyntheticInternet, traces: TraceSet, campaign: TracerouteCa
 def cmd_study(args: argparse.Namespace) -> int:
     trace_filter = getattr(args, "trace_packets", None)
     workers = args.workers
+    span_detail = getattr(args, "spans", None)
+    profile = getattr(args, "profile", False)
+    obs_dir = args.out if args.out else None
+    if profile and obs_dir is None:
+        print("--profile needs --out to write profile dumps into", file=sys.stderr)
+        return 2
     if trace_filter is not None:
         try:
             parse_filter(trace_filter)
@@ -120,12 +127,14 @@ def cmd_study(args: argparse.Namespace) -> int:
 
     metrics_snapshot = None
     telemetry = None
+    spans = None
     tracer = PathTracer(match=trace_filter) if trace_filter is not None else None
     if workers > 0:
         from .runner import run_study_parallel
 
         print(f"running sharded across {args.workers} workers", file=sys.stderr)
         telemetry = RunTelemetry() if args.metrics else None
+        span_sink: list = []
         traces, campaign = run_study_parallel(
             scale=args.scale,
             seed=args.seed,
@@ -135,24 +144,56 @@ def cmd_study(args: argparse.Namespace) -> int:
             progress=progress if args.verbose else None,
             fault_plan=fault_plan,
             telemetry=telemetry,
+            span_detail=span_detail,
+            span_sink=span_sink if span_detail is not None else None,
+            flight_dir=obs_dir,
+            profile_dir=obs_dir if profile else None,
         )
+        if span_detail is not None:
+            spans = span_sink
         if telemetry is not None:
             metrics_snapshot = telemetry.metrics
     else:
         registry = MetricsRegistry() if args.metrics else None
         if registry is not None or tracer is not None:
             world.network.set_observability(registry, tracer)
+        recorder = None
+        if span_detail is not None:
+            from .obs import SpanRecorder
+            from .runner.shard import shard_context_map
+
+            recorder = SpanRecorder(
+                detail=span_detail,
+                context_map=shard_context_map(world.params.schedule),
+            )
+            world.set_span_recorder(recorder)
         if fault_plan is not None:
             world.install_fault_plan(fault_plan)
+        profiler = None
+        if profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
         try:
             app = MeasurementApplication(world, targets=report.addresses)
             traces = app.run_study(progress=progress if args.verbose else None)
             campaign = app.run_traceroutes()
         finally:
+            if profiler is not None:
+                profiler.disable()
             if registry is not None or tracer is not None:
                 world.network.set_observability(None, None)
+            if recorder is not None:
+                world.set_span_recorder(None)
             if fault_plan is not None:
                 world.install_fault_plan(None)
+        if recorder is not None:
+            spans = recorder.export()
+        if profiler is not None:
+            out = Path(obs_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            profiler.dump_stats(out / "profile-sequential.pstats")
         if registry is not None:
             metrics_snapshot = registry.snapshot()
 
@@ -174,6 +215,11 @@ def cmd_study(args: argparse.Namespace) -> int:
             export_metrics_json(out / "metrics.json", metrics_snapshot)
         if telemetry is not None:
             export_telemetry_json(out / "telemetry.json", telemetry)
+        if spans is not None:
+            from .obs import export_chrome_trace
+
+            export_spans_json(out / "spans.json", spans)
+            export_chrome_trace(spans, out / "trace.json")
         export_figure_data(
             out / "figures", reach, tcp, diff_a, diff_b, tcp.pct_negotiated
         )
@@ -227,6 +273,13 @@ def cmd_report(args: argparse.Namespace) -> int:
     campaign = TracerouteCampaign.load(study / "traceroutes.json")
     geo, reach, diff_a, diff_b, tcp, paths, corr = _analyses(world, traces, campaign)
     print(full_report(geo, reach, diff_a, diff_b, tcp, campaign, paths, corr))
+    dashboard = getattr(args, "dashboard", None)
+    if dashboard is not None:
+        from .obs import write_dashboard
+
+        target = study / "dashboard.html" if dashboard == "" else Path(dashboard)
+        written = write_dashboard(study, target)
+        print(f"dashboard written to {written}", file=sys.stderr)
     return 0
 
 
@@ -365,11 +418,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "'udp and dst 10.3.0.7' (forces sequential)")
     study.add_argument("--trace-limit", type=int, default=200,
                        help="max packet-trace lines to print")
+    study.add_argument("--spans", nargs="?", const="epoch",
+                       choices=["epoch", "probe"], default=None,
+                       metavar="DETAIL",
+                       help="record the hierarchical span timeline "
+                            "(epoch or probe detail; canonical form "
+                            "identical for any --workers value); with "
+                            "--out also writes spans.json + trace.json "
+                            "(Perfetto / chrome://tracing)")
+    study.add_argument("--profile", action="store_true",
+                       help="capture cProfile stats per shard (or one "
+                            "sequential profile) into --out")
     study.add_argument("--verbose", action="store_true")
     study.set_defaults(func=cmd_study)
 
     report = sub.add_parser("report", help="re-analyse a saved study")
     report.add_argument("--study", type=str, required=True)
+    report.add_argument("--dashboard", nargs="?", const="", default=None,
+                        metavar="PATH",
+                        help="also render the run dashboard (HTML, or "
+                             "markdown for .md paths); defaults to "
+                             "<study>/dashboard.html")
     report.set_defaults(func=cmd_report)
 
     metrics = sub.add_parser(

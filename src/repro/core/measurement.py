@@ -12,10 +12,12 @@ server (§4.2).
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 from ..netsim.ecn import ECN
+from ..obs.spans import CTX_TRACEROUTES, CTX_TRACES, DETAIL_PROBE
 from ..netsim.host import Host
 from ..scenario.internet import SyntheticInternet
 from ..scenario.parameters import ProbeParams, TraceScheduleParams
@@ -93,26 +95,46 @@ class MeasurementApplication:
     def measure_server(self, vantage_host: Host, server_addr: int) -> ProbeOutcome:
         """The four §3 measurements against one server."""
         probe = self.probe_params
-        udp_plain = probe_udp(
-            vantage_host,
-            server_addr,
-            ECN.NOT_ECT,
-            attempts=probe.ntp_attempts,
-            timeout=probe.ntp_timeout,
-        )
-        udp_ect = probe_udp(
-            vantage_host,
-            server_addr,
-            ECN.ECT_0,
-            attempts=probe.ntp_attempts,
-            timeout=probe.ntp_timeout,
-        )
-        tcp_plain = probe_tcp(
-            vantage_host, server_addr, use_ecn=False, deadline=probe.http_deadline
-        )
-        tcp_ecn = probe_tcp(
-            vantage_host, server_addr, use_ecn=True, deadline=probe.http_deadline
-        )
+        spans = self.world.spans
+        phased = spans if spans and spans.detail == DETAIL_PROBE else None
+
+        def phase(name: str):
+            return phased.span("phase", name) if phased else nullcontext()
+
+        with phase("udp-plain"):
+            udp_plain = probe_udp(
+                vantage_host,
+                server_addr,
+                ECN.NOT_ECT,
+                attempts=probe.ntp_attempts,
+                timeout=probe.ntp_timeout,
+            )
+            if phased:
+                phased.annotate(
+                    responded=udp_plain.responded, attempts=udp_plain.attempts
+                )
+        with phase("udp-ect"):
+            udp_ect = probe_udp(
+                vantage_host,
+                server_addr,
+                ECN.ECT_0,
+                attempts=probe.ntp_attempts,
+                timeout=probe.ntp_timeout,
+            )
+            if phased:
+                phased.annotate(responded=udp_ect.responded, attempts=udp_ect.attempts)
+        with phase("tcp-plain"):
+            tcp_plain = probe_tcp(
+                vantage_host, server_addr, use_ecn=False, deadline=probe.http_deadline
+            )
+            if phased:
+                phased.annotate(ok=tcp_plain.ok)
+        with phase("tcp-ecn"):
+            tcp_ecn = probe_tcp(
+                vantage_host, server_addr, use_ecn=True, deadline=probe.http_deadline
+            )
+            if phased:
+                phased.annotate(ok=tcp_ecn.ok, negotiated=tcp_ecn.ecn_negotiated)
         return ProbeOutcome(
             server_addr=server_addr,
             udp_plain=udp_plain.responded,
@@ -128,6 +150,8 @@ class MeasurementApplication:
     def run_trace(self, vantage_key: str, trace_id: int, batch: int) -> Trace:
         """One complete trace: every target, four measurements each."""
         vantage_host = self.world.vantage_hosts[vantage_key]
+        spans = self.world.spans
+        probe_spans = bool(spans) and spans.detail == DETAIL_PROBE
         trace = Trace(
             trace_id=trace_id,
             vantage_key=vantage_key,
@@ -135,7 +159,13 @@ class MeasurementApplication:
             started_at=self.world.network.scheduler.now,
         )
         for server_addr in self.targets:
-            trace.add(self.measure_server(vantage_host, server_addr))
+            cm = (
+                spans.span("probe", f"probe-{server_addr}", server=server_addr)
+                if probe_spans
+                else nullcontext()
+            )
+            with cm:
+                trace.add(self.measure_server(vantage_host, server_addr))
         return trace
 
     # ------------------------------------------------------------------
@@ -159,17 +189,38 @@ class MeasurementApplication:
         """
         total = progress_total if progress_total is not None else len(planned)
         traces: list[Trace] = []
+        spans = self.world.spans
         for index, entry in enumerate(planned):
             if progress is not None:
                 progress(index, total, entry.vantage_key)
+            if spans:
+                # Attribute this epoch to the shard owning its
+                # (vantage, batch) slice before minting span ids, so
+                # sequential and sharded runs agree on every id.
+                spans.enter_context(CTX_TRACES, entry.vantage_key, entry.batch)
             self.world.enter_batch(entry.batch)
             self.world.begin_epoch(entry.trace_id)
             metrics = self.world.network.metrics
             if metrics:
                 metrics.incr("app.traces_run")
-            traces.append(
-                self.run_trace(entry.vantage_key, entry.trace_id, entry.batch)
+            # The epoch span opens *after* begin_epoch: its sim_start
+            # is then exactly the epoch origin, and fault events the
+            # injector buffered during installation flush into it.
+            cm = (
+                spans.span(
+                    "trace",
+                    f"trace-{entry.trace_id}",
+                    trace_id=entry.trace_id,
+                    vantage=entry.vantage_key,
+                    batch=entry.batch,
+                )
+                if spans
+                else nullcontext()
             )
+            with cm:
+                traces.append(
+                    self.run_trace(entry.vantage_key, entry.trace_id, entry.batch)
+                )
         return traces
 
     def run_study(self, progress: ProgressFn | None = None) -> TraceSet:
@@ -216,26 +267,42 @@ class MeasurementApplication:
         """
         host = self.world.vantage_hosts[vantage_key]
         dsts = list(targets) if targets is not None else list(self.targets)
+        spans = self.world.spans
+        if spans:
+            spans.enter_context(CTX_TRACEROUTES, vantage_key)
         self.world.begin_epoch(self.traceroute_epoch(vantage_key))
         metrics = self.world.network.metrics
         if metrics:
             metrics.incr("app.traceroute_sweeps")
+        probe_spans = bool(spans) and spans.detail == DETAIL_PROBE
+        sweep_cm = (
+            spans.span("sweep", f"sweep-{vantage_key}", vantage=vantage_key)
+            if spans
+            else nullcontext()
+        )
         paths: list[PathTrace] = []
-        for step, dst in enumerate(dsts):
-            if progress is not None:
-                progress(step, len(dsts), vantage_key)
-            path = run_traceroute(host, dst, ecn=ecn, params=self.probe_params)
-            # Traceroutes are keyed by vantage key, not hostname;
-            # for vantage hosts the two coincide by construction.
-            paths.append(
-                PathTrace(
-                    vantage_key=vantage_key,
-                    dst_addr=path.dst_addr,
-                    sent_ecn=path.sent_ecn,
-                    hops=path.hops,
-                    reached_destination=path.reached_destination,
+        with sweep_cm:
+            for step, dst in enumerate(dsts):
+                if progress is not None:
+                    progress(step, len(dsts), vantage_key)
+                probe_cm = (
+                    spans.span("probe", f"traceroute-{dst}", server=dst)
+                    if probe_spans
+                    else nullcontext()
                 )
-            )
+                with probe_cm:
+                    path = run_traceroute(host, dst, ecn=ecn, params=self.probe_params)
+                # Traceroutes are keyed by vantage key, not hostname;
+                # for vantage hosts the two coincide by construction.
+                paths.append(
+                    PathTrace(
+                        vantage_key=vantage_key,
+                        dst_addr=path.dst_addr,
+                        sent_ecn=path.sent_ecn,
+                        hops=path.hops,
+                        reached_destination=path.reached_destination,
+                    )
+                )
         return paths
 
     def run_traceroutes(

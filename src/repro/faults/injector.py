@@ -60,6 +60,7 @@ class FaultInjector:
         if not events:
             return
         metrics = self.world.network.metrics
+        spans = self.world.spans
         blackholed: set[str] = set()
         installed = 0
         for event in events:
@@ -67,6 +68,18 @@ class FaultInjector:
                 installed += 1
                 if metrics:
                     metrics.incr(f"faults.{event.kind}")
+                if spans:
+                    # Annotate the causal timeline: begin_epoch runs
+                    # before the epoch span opens, so the recorder
+                    # buffers these and flushes them into the span of
+                    # exactly the epoch this event impairs.
+                    spans.event(
+                        "fault",
+                        kind=event.kind,
+                        target=str(event.target),
+                        epoch=index,
+                        magnitude=event.magnitude,
+                    )
         if blackholed:
             self._set_excluded(frozenset(blackholed))
         if installed and metrics:

@@ -23,6 +23,7 @@ DESIGN.md's observability section for the overhead contract.
 
 from __future__ import annotations
 
+from .flight import DEFAULT_CAPACITY, FlightRecorder, load_flight_dump
 from .metrics import (
     NULL_METRICS,
     MetricsRegistry,
@@ -30,6 +31,29 @@ from .metrics import (
     empty_snapshot,
     merge_snapshots,
     proto_name,
+)
+from .spans import (
+    DETAIL_EPOCH,
+    DETAIL_PROBE,
+    NULL_SPANS,
+    ROOT_SPAN_ID,
+    NullSpanRecorder,
+    Span,
+    SpanRecorder,
+    assemble_study_spans,
+    canonical_spans,
+    chrome_trace_events,
+    export_chrome_trace,
+    span_children,
+    span_id,
+)
+from .report import (
+    RunArtifacts,
+    dashboard_sections,
+    load_run_artifacts,
+    render_dashboard_html,
+    render_dashboard_markdown,
+    write_dashboard,
 )
 from .tracing import (
     FilterError,
@@ -41,18 +65,40 @@ from .tracing import (
 from .telemetry import RunTelemetry, ShardRecord, render_metrics_report
 
 __all__ = [
+    "DEFAULT_CAPACITY",
+    "DETAIL_EPOCH",
+    "DETAIL_PROBE",
     "FilterError",
+    "FlightRecorder",
     "MetricsRegistry",
     "NULL_METRICS",
+    "NULL_SPANS",
     "NullRegistry",
+    "NullSpanRecorder",
     "PathEvent",
     "PathTracer",
+    "ROOT_SPAN_ID",
+    "RunArtifacts",
     "RunTelemetry",
     "ShardRecord",
+    "Span",
+    "SpanRecorder",
+    "assemble_study_spans",
+    "canonical_spans",
+    "chrome_trace_events",
+    "dashboard_sections",
     "empty_snapshot",
+    "export_chrome_trace",
     "group_flows",
+    "load_flight_dump",
+    "load_run_artifacts",
     "merge_snapshots",
     "parse_filter",
     "proto_name",
+    "render_dashboard_html",
+    "render_dashboard_markdown",
     "render_metrics_report",
+    "span_children",
+    "span_id",
+    "write_dashboard",
 ]

@@ -1,0 +1,382 @@
+"""Run dashboards: one page summarising a saved study's run artefacts.
+
+``ecnudp report --dashboard`` folds the observability outputs of a
+study directory — ``summary.json``, ``metrics.json``,
+``telemetry.json``, ``spans.json``, any ``flight-*.json`` crash dumps
+— into a single self-contained document: a per-phase timing table, a
+slowest-shard flame summary, the chaos event timeline, and the ECN
+mark-survival breakdown the paper's §4 is about.  Everything degrades
+gracefully: a study saved without ``--metrics`` or ``--spans`` still
+renders, with the missing sections noted rather than omitted silently.
+
+Two renderers share one data model (:class:`RunArtifacts` →
+:func:`dashboard_sections`): markdown for terminals and commit
+comments, HTML (inline CSS, zero external assets) for browsers.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Span kinds shown in the per-phase timing table, coarse to fine.
+_PHASE_KINDS = ("shard", "trace", "sweep", "probe", "phase")
+
+
+@dataclass
+class RunArtifacts:
+    """Everything the dashboard knows about one saved study."""
+
+    study_dir: Path
+    manifest: dict = field(default_factory=dict)
+    summary: dict | None = None
+    metrics: dict | None = None
+    telemetry: dict | None = None
+    spans: list[dict] | None = None
+    #: Parsed ``flight-*.json`` dumps, sorted by file name.
+    flights: list[dict] = field(default_factory=list)
+
+
+def _load_json(path: Path):
+    try:
+        return json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+
+
+def load_run_artifacts(study_dir: str | Path) -> RunArtifacts:
+    """Gather whatever observability artefacts the directory holds."""
+    directory = Path(study_dir)
+    artifacts = RunArtifacts(study_dir=directory)
+    artifacts.manifest = _load_json(directory / "manifest.json") or {}
+    artifacts.summary = _load_json(directory / "summary.json")
+    artifacts.metrics = _load_json(directory / "metrics.json")
+    artifacts.telemetry = _load_json(directory / "telemetry.json")
+    spans_doc = _load_json(directory / "spans.json")
+    if isinstance(spans_doc, dict) and isinstance(spans_doc.get("spans"), list):
+        artifacts.spans = spans_doc["spans"]
+    for path in sorted(directory.glob("flight-*.json")):
+        dump = _load_json(path)
+        if isinstance(dump, dict):
+            dump.setdefault("file", path.name)
+            artifacts.flights.append(dump)
+    return artifacts
+
+
+# ----------------------------------------------------------------------
+# Data model: sections of (title, table | lines)
+# ----------------------------------------------------------------------
+def _fmt(value, digits: int = 2) -> str:
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _header_rows(artifacts: RunArtifacts) -> list[tuple[str, str]]:
+    rows = [
+        ("study", str(artifacts.study_dir)),
+        ("scale", _fmt(artifacts.manifest.get("scale", "?"), 3)),
+        ("seed", str(artifacts.manifest.get("seed", "?"))),
+    ]
+    telemetry = artifacts.telemetry
+    if telemetry:
+        rows.append(("workers", str(telemetry.get("workers", 0))))
+        rows.append(("wall seconds", _fmt(telemetry.get("wall_seconds", 0.0), 3)))
+        rows.append(("shards", str(len(telemetry.get("shards", [])))))
+        rows.append(("retries", str(telemetry.get("total_retries", 0))))
+    chaos = artifacts.manifest.get("chaos") or (
+        telemetry.get("chaos") if telemetry else None
+    )
+    if chaos:
+        rows.append(
+            (
+                "chaos",
+                f"profile={chaos.get('profile')} seed={chaos.get('chaos_seed')} "
+                f"events={chaos.get('events')}",
+            )
+        )
+    if artifacts.flights:
+        rows.append(
+            ("flight dumps", ", ".join(d.get("file", "?") for d in artifacts.flights))
+        )
+    return rows
+
+
+def _phase_table(spans: list[dict]) -> list[list[str]]:
+    """Per-kind timing: count, total simulated time, total wall time."""
+    totals: dict[str, list[float]] = {}
+    for span in spans:
+        kind = span.get("kind")
+        if kind not in _PHASE_KINDS:
+            continue
+        entry = totals.setdefault(kind, [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += max(span.get("sim_end", 0.0) - span.get("sim_start", 0.0), 0.0)
+        entry[2] += span.get("wall_ms", 0.0)
+    rows = []
+    for kind in _PHASE_KINDS:
+        if kind not in totals:
+            continue
+        count, sim, wall = totals[kind]
+        rows.append([kind, str(int(count)), f"{sim:.1f}", f"{wall:.1f}"])
+    return rows
+
+
+def _flame_rows(artifacts: RunArtifacts, count: int = 5) -> list[list[str]]:
+    """Slowest shards with a proportional wall-time bar.
+
+    Prefers telemetry's worker-side timings; falls back to span wall
+    times when the study ran without ``--metrics``.
+    """
+    shards: list[tuple[int, float, int, str]] = []
+    telemetry = artifacts.telemetry
+    if telemetry and telemetry.get("shards"):
+        for record in telemetry["shards"]:
+            shards.append(
+                (
+                    record.get("shard_id", -1),
+                    float(record.get("elapsed", 0.0)) * 1000.0,
+                    record.get("attempts", 1),
+                    record.get("label", "?"),
+                )
+            )
+    elif artifacts.spans:
+        for span in artifacts.spans:
+            if span.get("kind") != "shard":
+                continue
+            shard_id = span.get("attrs", {}).get("shard_id", -1)
+            shards.append(
+                (shard_id, float(span.get("wall_ms", 0.0)), 1, span.get("name", "?"))
+            )
+    shards.sort(key=lambda item: (-item[1], item[0]))
+    top = shards[:count]
+    peak = max((wall for _, wall, _, _ in top), default=0.0)
+    rows = []
+    for shard_id, wall, attempts, label in top:
+        bar = "#" * max(1, round(20 * wall / peak)) if peak > 0 else ""
+        rows.append([str(shard_id), f"{wall:.1f}", f"x{attempts}", label, bar])
+    return rows
+
+
+def _chaos_rows(artifacts: RunArtifacts) -> list[list[str]]:
+    """Fault events in simulated-time order, from span point events."""
+    rows = []
+    for span in artifacts.spans or []:
+        for event in span.get("events", ()):
+            if event.get("name") != "fault":
+                continue
+            attrs = event.get("attrs", {})
+            rows.append(
+                [
+                    f"{event.get('sim_time', 0.0):.1f}",
+                    str(attrs.get("epoch", "?")),
+                    str(attrs.get("kind", "?")),
+                    str(attrs.get("target", "?")),
+                    _fmt(attrs.get("magnitude", "")),
+                ]
+            )
+    rows.sort(key=lambda row: float(row[0]))
+    return rows
+
+
+def _survival_rows(summary: dict) -> list[list[str]]:
+    """§4 headline numbers: where ECT-marked traffic survives."""
+    s41 = summary.get("section_4_1", {})
+    s42 = summary.get("section_4_2", {})
+    s43 = summary.get("section_4_3", {})
+    rows = [
+        [
+            "UDP servers reachable plain (avg)",
+            _fmt(s41.get("avg_udp_plain_reachable", 0.0), 1),
+        ],
+        [
+            "% reachable with ECT given plain",
+            _fmt(s41.get("avg_pct_ect_given_plain", 0.0), 2),
+        ],
+        [
+            "% reachable plain given ECT",
+            _fmt(s41.get("avg_pct_plain_given_ect", 0.0), 2),
+        ],
+        [
+            "hops passing ECT / measured",
+            f"{s42.get('hops_passing', 0)} / {s42.get('hops_measured', 0)} "
+            f"({_fmt(s42.get('pct_hops_passing', 0.0), 2)}%)",
+        ],
+        ["mark-strip events observed", str(s42.get("strip_events", 0))],
+        [
+            "strips at AS boundaries",
+            _fmt(100.0 * s42.get("boundary_fraction", 0.0), 1) + "%",
+        ],
+        [
+            "TCP ECN negotiated (avg)",
+            f"{_fmt(s43.get('avg_ecn_negotiated', 0.0), 1)} of "
+            f"{_fmt(s43.get('avg_tcp_reachable', 0.0), 1)} "
+            f"({_fmt(s43.get('pct_negotiated', 0.0), 2)}%)",
+        ],
+    ]
+    return rows
+
+
+#: A dashboard section: (title, column headers, rows, empty-note).
+Section = tuple[str, list[str], list[list[str]], str]
+
+
+def dashboard_sections(artifacts: RunArtifacts) -> list[Section]:
+    """The renderer-independent dashboard content."""
+    sections: list[Section] = [
+        (
+            "Run",
+            ["field", "value"],
+            [list(row) for row in _header_rows(artifacts)],
+            "",
+        )
+    ]
+    if artifacts.spans:
+        sections.append(
+            (
+                "Phase timing",
+                ["phase", "count", "sim time total", "wall ms total"],
+                _phase_table(artifacts.spans),
+                "",
+            )
+        )
+    else:
+        sections.append(
+            (
+                "Phase timing",
+                [],
+                [],
+                "no spans.json — re-run with `ecnudp study --spans`",
+            )
+        )
+    flame = _flame_rows(artifacts)
+    sections.append(
+        (
+            "Slowest shards",
+            ["shard", "wall ms", "attempts", "label", ""],
+            flame,
+            "" if flame else "no telemetry.json or spans.json with shard timings",
+        )
+    )
+    chaos_rows = _chaos_rows(artifacts)
+    chaotic = bool(
+        artifacts.manifest.get("chaos")
+        or (artifacts.telemetry or {}).get("chaos")
+    )
+    if chaos_rows or chaotic:
+        sections.append(
+            (
+                "Chaos timeline",
+                ["sim time", "epoch", "fault", "target", "magnitude"],
+                chaos_rows,
+                "" if chaos_rows else "chaotic run, but no spans captured fault events",
+            )
+        )
+    if artifacts.summary:
+        sections.append(
+            (
+                "ECN mark survival",
+                ["measure", "value"],
+                _survival_rows(artifacts.summary),
+                "",
+            )
+        )
+    else:
+        sections.append(
+            ("ECN mark survival", [], [], "no summary.json in the study directory")
+        )
+    return sections
+
+
+# ----------------------------------------------------------------------
+# Renderers
+# ----------------------------------------------------------------------
+def _markdown_table(headers: list[str], rows: list[list[str]]) -> list[str]:
+    widths = [
+        max(len(header), *(len(row[i]) for row in rows))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |",
+        "|" + "|".join("-" * (w + 2) for w in widths) + "|",
+    ]
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+        )
+    return lines
+
+
+def render_dashboard_markdown(artifacts: RunArtifacts) -> str:
+    """Render the dashboard as GitHub-flavoured markdown."""
+    lines = ["# ECN/UDP study run dashboard", ""]
+    for title, headers, rows, note in dashboard_sections(artifacts):
+        lines.append(f"## {title}")
+        lines.append("")
+        if rows:
+            lines.extend(_markdown_table(headers, rows))
+        else:
+            lines.append(f"_{note or 'nothing to show'}_")
+        lines.append("")
+    return "\n".join(lines)
+
+
+_HTML_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem auto;
+       max-width: 60rem; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #1a1a2e; padding-bottom: .3rem; }
+table { border-collapse: collapse; margin: .5rem 0 1.5rem; }
+th, td { border: 1px solid #c8c8d8; padding: .25rem .6rem; text-align: left;
+         font-size: .9rem; }
+th { background: #eef; }
+td:last-child { font-family: monospace; color: #364fc7; }
+.note { color: #666; font-style: italic; }
+""".strip()
+
+
+def render_dashboard_html(artifacts: RunArtifacts) -> str:
+    """Render the dashboard as one self-contained HTML page."""
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        "<title>ECN/UDP study run dashboard</title>",
+        f"<style>{_HTML_STYLE}</style></head><body>",
+        "<h1>ECN/UDP study run dashboard</h1>",
+    ]
+    for title, headers, rows, note in dashboard_sections(artifacts):
+        parts.append(f"<h2>{html.escape(title)}</h2>")
+        if rows:
+            parts.append("<table><tr>")
+            parts.extend(f"<th>{html.escape(h)}</th>" for h in headers)
+            parts.append("</tr>")
+            for row in rows:
+                parts.append(
+                    "<tr>"
+                    + "".join(f"<td>{html.escape(c)}</td>" for c in row)
+                    + "</tr>"
+                )
+            parts.append("</table>")
+        else:
+            parts.append(f"<p class='note'>{html.escape(note or 'nothing to show')}</p>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_dashboard(study_dir: str | Path, out_path: str | Path) -> Path:
+    """Render the dashboard for ``study_dir``; format chosen by suffix.
+
+    ``.md`` / ``.markdown`` produce markdown; anything else (``.html``
+    by convention) produces the self-contained HTML page.  Returns the
+    written path.
+    """
+    artifacts = load_run_artifacts(study_dir)
+    out = Path(out_path)
+    if out.suffix.lower() in (".md", ".markdown"):
+        text = render_dashboard_markdown(artifacts)
+    else:
+        text = render_dashboard_html(artifacts)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text)
+    return out

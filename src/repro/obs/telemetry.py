@@ -39,12 +39,16 @@ class ShardRecord:
     units: int
 
     def to_dict(self) -> dict:
+        # Wall-clock exports round to the millisecond: sub-ms digits
+        # are timer noise that churns diffs between otherwise-equal
+        # runs.  Only the export rounds — in-memory values keep full
+        # precision so accumulated sums don't drift.
         return {
             "shard_id": self.shard_id,
             "kind": self.kind,
             "label": self.label,
             "attempts": self.attempts,
-            "elapsed": self.elapsed,
+            "elapsed": round(self.elapsed, 3),
             "units": self.units,
         }
 
@@ -89,7 +93,7 @@ class RunTelemetry:
         """JSON-safe document, shards in shard-id order."""
         document = {
             "workers": self.workers,
-            "wall_seconds": self.wall_seconds,
+            "wall_seconds": round(self.wall_seconds, 3),
             "total_retries": self.total_retries,
             "runner": {name: self.runner[name] for name in sorted(self.runner)},
             "shards": [

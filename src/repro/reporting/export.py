@@ -155,6 +155,18 @@ def export_telemetry_json(path: str | Path, telemetry) -> dict:
     return payload
 
 
+def export_spans_json(path: str | Path, spans: list[dict]) -> dict:
+    """Write an assembled span list (study root first); returns the doc.
+
+    The payload wraps the spans in a version-tagged envelope so loaders
+    can reject foreign files, mirroring the shard wire format and the
+    flight-recorder dump format.
+    """
+    payload = {"format": "ecn-udp-spans/1", "spans": spans}
+    Path(path).write_text(json.dumps(payload, indent=2))
+    return payload
+
+
 def export_traces_csv(path: str | Path, trace_set: TraceSet) -> int:
     """Flatten a trace set to CSV (one row per server per trace).
 

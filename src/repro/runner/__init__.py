@@ -26,17 +26,26 @@ The high-level entry point is :func:`run_study_parallel`, which
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Mapping, Sequence
 
 from ..core.measurement import ProgressFn, trace_plan
 from ..core.traces import TraceSet, TracerouteCampaign
 from ..faults.events import FaultPlan
-from ..obs import MetricsRegistry, RunTelemetry, ShardRecord, merge_snapshots
+from ..obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    RunTelemetry,
+    ShardRecord,
+    assemble_study_spans,
+    merge_snapshots,
+)
 from ..scenario.internet import SyntheticInternet
 from ..scenario.parameters import params_for_scale
 from .merge import (
     MergeError,
     WIRE_FORMAT,
+    collect_shard_spans,
     decode_path,
     decode_trace,
     encode_path,
@@ -46,7 +55,7 @@ from .merge import (
 )
 from .progress import ProgressAggregator, ProgressOverflowError
 from .scheduler import RetryPolicy, ShardExecutionError, ShardScheduler
-from .shard import KIND_TRACEROUTES, KIND_TRACES, Shard, plan_shards
+from .shard import KIND_TRACEROUTES, KIND_TRACES, Shard, plan_shards, shard_context_map
 from .worker import (
     FAULT_EXIT,
     FAULT_HANG,
@@ -74,6 +83,7 @@ __all__ = [
     "ShardJob",
     "ShardScheduler",
     "WIRE_FORMAT",
+    "collect_shard_spans",
     "decode_path",
     "decode_trace",
     "encode_path",
@@ -83,6 +93,7 @@ __all__ = [
     "merge_traces",
     "plan_shards",
     "run_study_parallel",
+    "shard_context_map",
 ]
 
 
@@ -100,6 +111,10 @@ def run_study_parallel(
     fault_plan: FaultPlan | None = None,
     telemetry: RunTelemetry | None = None,
     observe: bool | None = None,
+    span_detail: str | None = None,
+    span_sink: list | None = None,
+    flight_dir: str | Path | None = None,
+    profile_dir: str | Path | None = None,
 ) -> tuple[TraceSet, TracerouteCampaign]:
     """Execute a full study as parallel shards and merge the results.
 
@@ -127,6 +142,17 @@ def run_study_parallel(
     worker installs the identical plan before its epochs run — the
     merged chaotic study stays bit-identical to a sequential run given
     the same plan.
+
+    ``span_detail`` turns on per-shard span recording at the given
+    level; worker subtrees ship back in the wire results and the
+    assembled study span list (root first, deduplicated by shard) is
+    appended to ``span_sink``.  ``flight_dir`` arms crash flight
+    recorders on both sides of the process boundary: workers dump
+    ``flight-shard-<id>.json`` when a shard execution dies, and the
+    parent dumps ``flight-parent.json`` on any scheduler recovery path
+    (gang retry after a hang or pool loss, retry-budget exhaustion) or
+    a :class:`ProgressOverflowError`.  ``profile_dir`` captures one
+    cProfile stats file per shard execution.
     """
     if world is None:
         world = SyntheticInternet(params_for_scale(scale, seed))
@@ -139,6 +165,8 @@ def run_study_parallel(
     fault_map = dict(faults) if faults else {}
     if observe is None:
         observe = telemetry is not None
+    flight_path = str(flight_dir) if flight_dir is not None else None
+    profile_path = str(profile_dir) if profile_dir is not None else None
     jobs = [
         ShardJob(
             scale=scale,
@@ -148,15 +176,27 @@ def run_study_parallel(
             fault=fault_map.get(shard.shard_id),
             observe=observe,
             fault_plan=fault_plan,
+            span_detail=span_detail,
+            flight_dir=flight_path,
+            profile_dir=profile_path,
         )
         for shard in shards
     ]
     aggregator = ProgressAggregator(
         progress, sum(shard.units(len(target_tuple)) for shard in shards)
     )
+    parent_flight = (
+        FlightRecorder(label="parent") if flight_path is not None else None
+    )
 
     def on_complete(job: ShardJob, result: dict) -> None:
         aggregator.shard_completed(job.shard, job.shard.units(len(target_tuple)))
+        if parent_flight:
+            parent_flight.record(
+                "shard-complete",
+                shard=job.shard.shard_id,
+                attempts=job.attempt + 1,
+            )
         if telemetry is not None:
             telemetry.record_shard(
                 ShardRecord(
@@ -171,10 +211,23 @@ def run_study_parallel(
 
     runner_metrics = MetricsRegistry() if telemetry is not None else None
     scheduler = ShardScheduler(
-        workers, retry=retry, shard_timeout=shard_timeout, metrics=runner_metrics
+        workers,
+        retry=retry,
+        shard_timeout=shard_timeout,
+        metrics=runner_metrics,
+        flight=parent_flight,
+        flight_dir=flight_path,
     )
     started = time.perf_counter()
-    results = scheduler.run(jobs, on_complete=on_complete)
+    try:
+        results = scheduler.run(jobs, on_complete=on_complete)
+    except ProgressOverflowError as exc:
+        # Strict progress accounting tripped: the shard plan and the
+        # completions disagree.  Leave the black box before aborting.
+        if parent_flight is not None and flight_path is not None:
+            parent_flight.record("progress-overflow", error=str(exc))
+            parent_flight.dump(flight_path, reason=f"progress overflow: {exc}")
+        raise
     if telemetry is not None:
         telemetry.workers = workers
         telemetry.wall_seconds = time.perf_counter() - started
@@ -190,6 +243,10 @@ def run_study_parallel(
         telemetry.merge_metrics(
             by_shard[shard_id] for shard_id in sorted(by_shard)
         )
+    if span_sink is not None and span_detail is not None:
+        # Same dedup-by-shard discipline as metrics, same assembly
+        # path as the sequential recorder: bit-identical by design.
+        span_sink.extend(assemble_study_spans(collect_shard_spans(results)))
     traces = merge_traces(
         (r for r in results if r["kind"] == KIND_TRACES),
         server_addrs=list(target_tuple),

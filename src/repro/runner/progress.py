@@ -57,7 +57,12 @@ class ProgressAggregator:
         if self._progress is None:
             return
         with self._lock:
-            self._progress(self._done, self._total, shard.label())
+            # After the last unit completes ``_done == _total``, and a
+            # late dispatch announcement (a retry racing the final
+            # completion) would display as ``N+1/N``.  Clamp to the
+            # last valid index — consumers render ``index + 1``.
+            index = min(self._done, self._total - 1) if self._total > 0 else 0
+            self._progress(index, self._total, shard.label())
 
     def shard_completed(self, shard: Shard, units: int) -> None:
         """Record ``units`` finished units from ``shard``."""

@@ -61,6 +61,8 @@ class ShardScheduler:
         retry: RetryPolicy | None = None,
         shard_timeout: float | None = None,
         metrics=None,
+        flight=None,
+        flight_dir=None,
     ) -> None:
         self.workers = workers
         self.retry = retry if retry is not None else RetryPolicy()
@@ -71,6 +73,13 @@ class ShardScheduler:
         #: Parent-side :mod:`repro.obs` registry for runner counters
         #: (``runner.shards_dispatched`` etc.); falsey when disabled.
         self.metrics = metrics
+        #: Parent-side :class:`~repro.obs.FlightRecorder` capturing
+        #: dispatch/retry/recovery decisions; dumped to ``flight_dir``
+        #: whenever a recovery path fires (gang retry, pool rebuild,
+        #: budget exhaustion), so even a run that ultimately succeeds
+        #: leaves a black box of every brush with failure.
+        self.flight = flight
+        self.flight_dir = flight_dir
 
     # ------------------------------------------------------------------
     # Entry point
@@ -85,6 +94,10 @@ class ShardScheduler:
             return []
         if self.metrics:
             self.metrics.incr("runner.shards_dispatched", len(jobs))
+        if self.flight:
+            self.flight.record(
+                "dispatch", shards=len(jobs), workers=self.workers
+            )
         if self.workers <= 0:
             return self._run_inline(jobs, on_complete)
         executor_factory = self._executor_factory(len(jobs))
@@ -220,6 +233,13 @@ class ShardScheduler:
         Used when failure cannot be attributed to a single shard (dead
         pool, global hang): one shared backoff, then all back in.
         """
+        if self.flight:
+            self.flight.record(
+                "gang-recovery",
+                cause=repr(cause),
+                shards=[job.shard.shard_id for job in owed],
+            )
+            self._dump_flight(f"gang recovery: {cause}")
         retries = [self._next_attempt(job, cause, sleep=False) for job in owed]
         if self.metrics:
             self.metrics.incr("runner.shards_recovered", len(retries))
@@ -233,12 +253,20 @@ class ShardScheduler:
     def _require_executor(self, executor_factory):
         if self.metrics:
             self.metrics.incr("runner.pool_rebuilds")
+        if self.flight:
+            self.flight.record("pool-rebuild")
         executor = executor_factory()
         if executor is None:
+            self._dump_flight("worker pool died and could not be rebuilt")
             raise ShardExecutionError(
                 "worker pool died and could not be rebuilt"
             )
         return executor
+
+    def _dump_flight(self, reason: str) -> None:
+        """Dump the parent black box (no-op when not armed)."""
+        if self.flight is not None and self.flight_dir is not None:
+            self.flight.dump(self.flight_dir, reason=reason)
 
     # ------------------------------------------------------------------
     # Retry bookkeeping
@@ -248,12 +276,23 @@ class ShardScheduler:
     ) -> ShardJob:
         attempt = job.attempt + 1
         if attempt >= self.retry.max_attempts:
+            if self.flight:
+                self.flight.record(
+                    "budget-exhausted", shard=job.shard.shard_id, error=repr(exc)
+                )
+                self._dump_flight(
+                    f"shard {job.shard.shard_id} exhausted its retry budget"
+                )
             raise ShardExecutionError(
                 f"shard {job.shard.shard_id} ({job.shard.label()}) failed "
                 f"after {attempt} attempts: {exc}"
             ) from exc
         if self.metrics:
             self.metrics.incr("runner.shards_retried")
+        if self.flight:
+            self.flight.record(
+                "shard-retry", shard=job.shard.shard_id, attempt=attempt, error=repr(exc)
+            )
         delay = self.retry.delay(attempt)
         logger.warning(
             "shard %d (%s) failed (%s); retry %d/%d in %.2fs",

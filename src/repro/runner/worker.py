@@ -10,6 +10,13 @@ cost once and then runs any number of shards against it; hermetic
 measurement epochs guarantee the execution order across shards cannot
 influence results.
 
+Observability rides along per job: ``observe`` installs a fresh
+metrics registry, ``span_detail`` a fresh span recorder (its subtree
+ships back in the wire result), ``profile_dir`` wraps the measurement
+in :mod:`cProfile`, and ``flight_dir`` arms the process-wide crash
+flight recorder — a bounded ring of span/fault/lifecycle events dumped
+to ``flight-shard-<id>.json`` when a shard execution dies.
+
 Fault injection (:class:`FaultSpec`) exists for the scheduler's
 retry-path tests: a job can be told to raise — or hard-kill its worker
 process — while its attempt counter is below a threshold, which
@@ -21,14 +28,17 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..core.measurement import MeasurementApplication
 from ..faults.events import FaultPlan
+from ..obs.flight import FlightRecorder
 from ..obs.metrics import MetricsRegistry
+from ..obs.spans import SpanRecorder
 from ..scenario.internet import SyntheticInternet
 from ..scenario.parameters import params_for_scale
 from .merge import WIRE_FORMAT, encode_path, encode_trace
-from .shard import KIND_TRACES, Shard
+from .shard import KIND_TRACES, Shard, shard_context_map
 
 #: Fault kinds understood by :func:`execute_shard`.
 FAULT_RAISE = "raise"
@@ -71,11 +81,23 @@ class ShardJob:
     #: Chaos schedule applied by every worker identically (hashable, so
     #: it participates in the per-process world cache key).
     fault_plan: FaultPlan | None = None
+    #: Span detail level (:data:`repro.obs.DETAIL_EPOCH` /
+    #: :data:`~repro.obs.DETAIL_PROBE`); ``None`` records no spans.
+    span_detail: str | None = None
+    #: Directory for crash flight-recorder dumps; ``None`` disarms.
+    flight_dir: str | None = None
+    #: Directory for per-shard cProfile dumps; ``None`` disables.
+    profile_dir: str | None = None
 
 
 #: Per-process world cache: building a synthetic Internet dominates
 #: small-shard runtime, and every shard of a study shares one.
 _WORLD_CACHE: dict[tuple[float, int, FaultPlan | None], SyntheticInternet] = {}
+
+#: Per-process flight recorder: the black box this worker dumps when a
+#: shard execution dies.  One ring per process (not per shard) so the
+#: tail can span a world rebuild or an earlier shard's spans.
+_FLIGHT: FlightRecorder | None = None
 
 
 def _world_for(
@@ -94,18 +116,76 @@ def _world_for(
     return world
 
 
+def _flight_recorder() -> FlightRecorder:
+    global _FLIGHT
+    if _FLIGHT is None:
+        _FLIGHT = FlightRecorder(label="worker")
+    return _FLIGHT
+
+
+def _dump_flight(flight: FlightRecorder, job: ShardJob, reason: str) -> None:
+    """Dump the worker's ring as this shard's black box."""
+    flight.label = f"shard-{job.shard.shard_id}"
+    flight.dump(
+        job.flight_dir,
+        reason=reason,
+        shard_id=job.shard.shard_id,
+        shard_label=job.shard.label(),
+        attempt=job.attempt,
+    )
+
+
 def execute_shard(job: ShardJob) -> dict:
     """Run one shard to completion and return its wire-format result."""
+    flight = _flight_recorder() if job.flight_dir is not None else None
+    if flight:
+        flight.record(
+            "shard-start",
+            shard=job.shard.shard_id,
+            label=job.shard.label(),
+            attempt=job.attempt,
+        )
+    try:
+        result = _execute_shard(job, flight)
+    except BaseException as exc:
+        if flight is not None:
+            flight.record(
+                "shard-crash", shard=job.shard.shard_id, error=repr(exc)
+            )
+            _dump_flight(flight, job, reason=f"{type(exc).__name__}: {exc}")
+        raise
+    if flight:
+        flight.record(
+            "shard-done",
+            shard=job.shard.shard_id,
+            elapsed=round(result.get("elapsed", 0.0), 3),
+        )
+    return result
+
+
+def _execute_shard(job: ShardJob, flight: FlightRecorder | None) -> dict:
     if job.fault is not None and job.attempt < job.fault.attempts:
         if job.fault.kind == FAULT_EXIT:
             # Simulate a crashed/killed worker: bypass all exception
-            # handling, including the executor's own bookkeeping.
+            # handling, including the executor's own bookkeeping.  The
+            # flight recorder flushes first — standing in for the
+            # persistent ring file a production recorder would keep,
+            # which is exactly what survives a real SIGKILL.
+            if flight is not None:
+                flight.record("shard-killed", shard=job.shard.shard_id)
+                _dump_flight(flight, job, reason="injected hard kill (os._exit)")
             os._exit(1)
         if job.fault.kind == FAULT_HANG:
             # Simulate a wedged worker.  The parent abandons the pool
             # when its hang budget expires; once the sleep ends this
             # raise lands in the abandoned executor and frees the
             # process, so tests don't leak sleeping workers past exit.
+            if flight is not None:
+                flight.record(
+                    "shard-hang",
+                    shard=job.shard.shard_id,
+                    hang_seconds=job.fault.hang_seconds,
+                )
             time.sleep(job.fault.hang_seconds)
         raise InjectedShardFault(
             f"injected failure for shard {job.shard.shard_id} "
@@ -126,7 +206,24 @@ def execute_shard(job: ShardJob) -> dict:
     registry = MetricsRegistry() if job.observe else None
     if registry is not None:
         world.network.set_observability(registry)
+    # Likewise a fresh span recorder per shard: its subtree ships back
+    # in the result, and a retried shard re-records from scratch.
+    spans = None
+    if job.span_detail is not None:
+        spans = SpanRecorder(
+            detail=job.span_detail,
+            context_map=shard_context_map(world.params.schedule),
+            flight=flight,
+        )
+        world.set_span_recorder(spans)
+    profiler = None
+    if job.profile_dir is not None:
+        import cProfile
+
+        profiler = cProfile.Profile()
     started = time.perf_counter()
+    if profiler is not None:
+        profiler.enable()
     try:
         if shard.kind == KIND_TRACES:
             traces = app.run_planned(shard.planned_traces())
@@ -135,9 +232,19 @@ def execute_shard(job: ShardJob) -> dict:
             paths = app.run_traceroute_vantage(shard.vantage_key)
             result["paths"] = [encode_path(path) for path in paths]
     finally:
+        if profiler is not None:
+            profiler.disable()
         if registry is not None:
             world.network.set_observability(None)
+        if spans is not None:
+            world.set_span_recorder(None)
     result["elapsed"] = time.perf_counter() - started
     if registry is not None:
         result["metrics"] = registry.snapshot()
+    if spans is not None:
+        result["spans"] = spans.shard_exports()
+    if profiler is not None:
+        directory = Path(job.profile_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(directory / f"profile-shard-{shard.shard_id}.pstats")
     return result

@@ -161,6 +161,9 @@ class SyntheticInternet:
         #: Optional chaos layer (:mod:`repro.faults`); installed via
         #: :meth:`install_fault_plan`, driven from :meth:`begin_epoch`.
         self.fault_injector = None
+        #: Optional :class:`repro.obs.SpanRecorder`; installed via
+        #: :meth:`set_span_recorder`, truthiness-gated at call sites.
+        self.spans = None
 
         self._start_services()
         self._deploy_server_middleboxes()
@@ -708,6 +711,18 @@ class SyntheticInternet:
             # no randomness, so the epoch stays a pure function of
             # (params, index, plan).
             self.fault_injector.begin_epoch(index, (index + 1) * MEASUREMENT_EPOCH_SPAN)
+
+    def set_span_recorder(self, recorder) -> None:
+        """Attach (or detach, with ``None``) a span recorder.
+
+        The recorder's simulated clock is bound to this world's event
+        engine so span ``sim_start``/``sim_end`` read the same clock
+        :meth:`begin_epoch` resets — the source of their determinism.
+        """
+        self.spans = recorder
+        if recorder is not None:
+            scheduler = self.network.scheduler
+            recorder.bind_clock(lambda: scheduler.now)
 
     def install_fault_plan(self, plan) -> None:
         """Attach (or detach, with ``None``) a :class:`~repro.faults.FaultPlan`.

@@ -33,10 +33,18 @@ from .core.analysis.validation import InferenceQuality, validate_study
 from .core.discovery import PoolDiscovery
 from .core.measurement import MeasurementApplication
 from .core.traces import TraceSet, TracerouteCampaign
-from .obs import MetricsRegistry, PathTracer, RunTelemetry
+from .obs import (
+    DETAIL_EPOCH,
+    MetricsRegistry,
+    PathTracer,
+    RunTelemetry,
+    SpanRecorder,
+    export_chrome_trace,
+)
 from .reporting.export import (
     export_figure_data,
     export_metrics_json,
+    export_spans_json,
     export_summary_json,
     export_telemetry_json,
     export_traces_csv,
@@ -62,6 +70,9 @@ class Study:
     telemetry: RunTelemetry | None = None
     #: The packet tracer used during the run, if any.
     tracer: PathTracer | None = None
+    #: Assembled span list (study root first) when span recording was
+    #: on; canonically identical for any worker count.
+    spans: list | None = None
     _cache: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
@@ -80,6 +91,9 @@ class Study:
         trace_filter: str | None = None,
         faults=None,
         chaos_seed: int = 0,
+        record_spans: bool | str = False,
+        obs_dir: str | Path | None = None,
+        profile: bool = False,
     ) -> "Study":
         """Execute the full §3 methodology at the given scale.
 
@@ -104,7 +118,21 @@ class Study:
         into a plan with :func:`~repro.faults.generate_fault_plan`
         seeded by ``chaos_seed``; either way the plan is a pure value,
         so sequential and sharded chaotic runs stay bit-identical.
+
+        ``record_spans`` turns on the hierarchical span timeline
+        (``True`` = epoch detail, or pass a
+        :mod:`~repro.obs.spans` detail level); the assembled span list
+        lands on :attr:`spans` and is canonically identical for any
+        ``workers`` value.  ``obs_dir`` arms crash flight recorders
+        (sharded runs dump ``flight-*.json`` there on worker death or
+        runner recovery) and receives cProfile dumps when ``profile``
+        is on.
         """
+        span_detail: str | None = None
+        if record_spans:
+            span_detail = DETAIL_EPOCH if record_spans is True else record_spans
+        if profile and obs_dir is None:
+            raise ValueError("profile=True needs obs_dir to write profiles into")
         world = SyntheticInternet(params_for_scale(scale, seed))
         fault_plan = None
         if faults is not None:
@@ -135,10 +163,12 @@ class Study:
         metrics_snapshot: dict | None = None
         telemetry: RunTelemetry | None = None
         tracer: PathTracer | None = None
+        span_list: list | None = None
         if workers > 0:
             from .runner import run_study_parallel
 
             telemetry = RunTelemetry() if collect_metrics else None
+            span_sink: list = []
             traces, campaign = run_study_parallel(
                 scale=scale,
                 seed=seed,
@@ -149,7 +179,13 @@ class Study:
                 progress=progress,
                 fault_plan=fault_plan,
                 telemetry=telemetry,
+                span_detail=span_detail,
+                span_sink=span_sink if span_detail is not None else None,
+                flight_dir=obs_dir,
+                profile_dir=obs_dir if profile else None,
             )
+            if span_detail is not None:
+                span_list = span_sink
             if telemetry is not None:
                 metrics_snapshot = telemetry.metrics
         else:
@@ -158,12 +194,33 @@ class Study:
                 tracer = PathTracer(match=trace_filter)
             if registry is not None or tracer is not None:
                 world.network.set_observability(registry, tracer)
+            recorder = None
+            if span_detail is not None:
+                from .runner.shard import shard_context_map
+
+                # The sequential recorder resolves every epoch through
+                # the full (kind, vantage, batch) -> shard map, so it
+                # mints the same span ids a worker fleet would.
+                recorder = SpanRecorder(
+                    detail=span_detail,
+                    context_map=shard_context_map(
+                        world.params.schedule, traceroutes=traceroutes
+                    ),
+                )
+                world.set_span_recorder(recorder)
             if fault_plan is not None:
                 # Installed after discovery, exactly as the parallel
                 # path does (workers install the plan; the parent's
                 # discovery never sees it).
                 world.install_fault_plan(fault_plan)
+            profiler = None
+            if profile:
+                import cProfile
+
+                profiler = cProfile.Profile()
             started = time.perf_counter()
+            if profiler is not None:
+                profiler.enable()
             try:
                 app = MeasurementApplication(world, targets=targets)
                 traces = app.run_study(progress=progress)
@@ -173,12 +230,22 @@ class Study:
                     else TracerouteCampaign()
                 )
             finally:
+                if profiler is not None:
+                    profiler.disable()
                 if registry is not None or tracer is not None:
                     world.network.set_observability(None, None)
+                if recorder is not None:
+                    world.set_span_recorder(None)
                 if fault_plan is not None:
                     # Leave the retained world pristine, matching the
                     # parent-side world of a sharded run.
                     world.install_fault_plan(None)
+            if recorder is not None:
+                span_list = recorder.export()
+            if profiler is not None:
+                directory = Path(obs_dir)
+                directory.mkdir(parents=True, exist_ok=True)
+                profiler.dump_stats(directory / "profile-sequential.pstats")
             if registry is not None:
                 metrics_snapshot = registry.snapshot()
                 telemetry = RunTelemetry(
@@ -197,6 +264,7 @@ class Study:
             metrics=metrics_snapshot,
             telemetry=telemetry,
             tracer=tracer,
+            spans=span_list,
         )
 
     # ------------------------------------------------------------------
@@ -302,6 +370,9 @@ class Study:
             export_metrics_json(directory / "metrics.json", self.metrics)
         if self.telemetry is not None:
             export_telemetry_json(directory / "telemetry.json", self.telemetry)
+        if self.spans is not None:
+            export_spans_json(directory / "spans.json", self.spans)
+            export_chrome_trace(self.spans, directory / "trace.json")
         export_figure_data(
             directory / "figures",
             self.reachability,
@@ -319,10 +390,15 @@ class Study:
         directory = Path(directory)
         manifest = json.loads((directory / "manifest.json").read_text())
         scale, seed = manifest["scale"], manifest["seed"]
+        spans = None
+        spans_path = directory / "spans.json"
+        if spans_path.exists():
+            spans = json.loads(spans_path.read_text())["spans"]
         return cls(
             world=SyntheticInternet(params_for_scale(scale, seed)),
             traces=TraceSet.load(directory / "traces.json"),
             campaign=TracerouteCampaign.load(directory / "traceroutes.json"),
             scale=scale,
             seed=seed,
+            spans=spans,
         )

@@ -1,0 +1,76 @@
+"""Unit tests for the crash flight recorder (bounded ring + dumps)."""
+
+import pytest
+
+from repro.obs import DEFAULT_CAPACITY, FlightRecorder, load_flight_dump
+
+
+class TestRing:
+    def test_bounded_capacity_drops_oldest(self):
+        flight = FlightRecorder(capacity=3)
+        for i in range(5):
+            flight.record("tick", i=i)
+        assert len(flight) == 3
+        assert [e["i"] for e in flight.events()] == [2, 3, 4]
+        assert flight.recorded == 5
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_CAPACITY
+
+    def test_truthy_even_when_empty(self):
+        assert FlightRecorder()
+
+    def test_payload_kind_key_cannot_collide(self):
+        """Regression: span events carry a ``kind`` attribute; passing
+        it through **payload used to raise TypeError, crashing the very
+        code path that exists to record crashes."""
+        flight = FlightRecorder(capacity=4)
+        flight.record("span-event", kind="link_flap", target="r1")
+        event = flight.events()[0]
+        assert event["kind"] == "span-event"
+        assert event["target"] == "r1"
+
+    def test_clear(self):
+        flight = FlightRecorder()
+        flight.record("x")
+        flight.clear()
+        assert len(flight) == 0
+
+
+class TestDump:
+    def test_dump_and_load_round_trip(self, tmp_path):
+        flight = FlightRecorder(capacity=8, label="shard-3")
+        flight.record("shard-start", shard=3)
+        flight.record("shard-crash", shard=3, error="boom")
+        path = flight.dump(tmp_path, reason="test crash", attempt=1)
+        assert path.name == "flight-shard-3.json"
+        document = load_flight_dump(path)
+        assert document["format"] == "ecn-udp-flight/1"
+        assert document["reason"] == "test crash"
+        assert document["context"] == {"attempt": 1}
+        assert [e["kind"] for e in document["events"]] == [
+            "shard-start",
+            "shard-crash",
+        ]
+
+    def test_dump_creates_the_directory(self, tmp_path):
+        flight = FlightRecorder(label="worker")
+        path = flight.dump(tmp_path / "deep" / "obs", reason="r")
+        assert path.exists()
+
+    def test_dump_never_raises(self, tmp_path):
+        """A failing dump must not mask the failure being recorded."""
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        flight = FlightRecorder()
+        flight.dump(blocker / "sub", reason="r")  # OSError swallowed
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "flight-x.json"
+        path.write_text('{"format": "something-else/9"}')
+        with pytest.raises(ValueError, match="not a flight dump"):
+            load_flight_dump(path)

@@ -57,6 +57,31 @@ class TestRunTelemetry:
         original = record(4, elapsed=0.25, attempts=2)
         assert ShardRecord(**original.to_dict()) == original
 
+    def test_slowest_shards_ties_keep_full_ordering_stable(self):
+        telemetry = RunTelemetry()
+        for shard_id in (7, 3, 5, 1):
+            telemetry.record_shard(record(shard_id, elapsed=2.0))
+        assert [r.shard_id for r in telemetry.slowest_shards(count=4)] == [1, 3, 5, 7]
+
+    def test_export_rounds_wall_clock_to_milliseconds(self):
+        """Sub-ms timer noise must not churn exported documents."""
+        telemetry = RunTelemetry(workers=2, wall_seconds=1.23456789)
+        telemetry.record_shard(record(0, elapsed=0.00049999))
+        document = telemetry.to_dict()
+        assert document["wall_seconds"] == 1.235
+        assert document["shards"][0]["elapsed"] == 0.0
+
+    def test_rounding_is_export_only(self):
+        """In-memory values keep full precision; exporting twice is
+        stable (rounding is idempotent, never accumulated)."""
+        telemetry = RunTelemetry(wall_seconds=0.1234567)
+        telemetry.record_shard(record(0, elapsed=0.7654321))
+        first = telemetry.to_dict()
+        second = telemetry.to_dict()
+        assert first == second
+        assert telemetry.wall_seconds == 0.1234567
+        assert telemetry.shards[0].elapsed == 0.7654321
+
 
 class TestRendering:
     def test_report_lists_counters_and_gauges(self):
@@ -77,3 +102,22 @@ class TestRendering:
         assert "Run telemetry" in text
         assert "workers=2" in text
         assert "shards_dispatched" in text
+
+    def test_summary_lines_chaos_branch(self):
+        telemetry = RunTelemetry(workers=2, wall_seconds=1.0)
+        telemetry.chaos = {
+            "profile": "default",
+            "chaos_seed": 9,
+            "events": 4,
+            "by_kind": {"link_flap": 3, "bleach_on": 1},
+        }
+        text = "\n".join(telemetry.summary_lines())
+        assert "chaos profile=default" in text
+        assert "seed=9" in text
+        assert "events=4" in text
+        # by_kind renders sorted by kind name.
+        assert "bleach_on=1 link_flap=3" in text
+
+    def test_summary_lines_without_chaos_omits_the_section(self):
+        telemetry = RunTelemetry(workers=2, wall_seconds=1.0)
+        assert not any("chaos" in line for line in telemetry.summary_lines())

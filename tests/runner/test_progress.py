@@ -25,6 +25,38 @@ class TestAggregation:
         assert calls == [(3, 10), (9, 10)]
 
 
+class TestDispatchAnnouncements:
+    def test_started_reports_first_pending_unit(self):
+        calls = []
+        aggregator = ProgressAggregator(
+            lambda done, total, label: calls.append((done, total)), total_units=10
+        )
+        aggregator.shard_started(shard(0))
+        aggregator.shard_completed(shard(0), 4)
+        aggregator.shard_started(shard(1))
+        assert calls == [(0, 10), (3, 10), (4, 10)]
+
+    def test_started_after_completion_clamps_to_last_index(self):
+        """Regression: a dispatch announcement after the final unit
+        completed used to report index ``total``, which consumers
+        render as ``total + 1``/``total``."""
+        calls = []
+        aggregator = ProgressAggregator(
+            lambda done, total, label: calls.append((done, total)), total_units=4
+        )
+        aggregator.shard_completed(shard(0), 4)
+        aggregator.shard_started(shard(1))
+        assert calls[-1] == (3, 4)
+
+    def test_started_with_zero_total_reports_index_zero(self):
+        calls = []
+        aggregator = ProgressAggregator(
+            lambda done, total, label: calls.append((done, total)), total_units=0
+        )
+        aggregator.shard_started(shard(0))
+        assert calls == [(0, 0)]
+
+
 class TestOverflow:
     def test_overflow_logs_warning_and_clamps(self, caplog):
         """Regression: overflow used to be silently clamped away."""

@@ -73,6 +73,7 @@ class TestStudyAndReport:
                 "0.02",
                 "--seed",
                 "3",
+                "--spans",
                 "--out",
                 str(out_dir),
             ]
@@ -85,10 +86,14 @@ class TestStudyAndReport:
             "summary.json",
             "traces.csv",
             "report.txt",
+            "spans.json",
+            "trace.json",
         ):
             assert (out_dir / name).exists(), name
         manifest = json.loads((out_dir / "manifest.json").read_text())
         assert manifest == {"scale": 0.02, "seed": 3}
+        spans = json.loads((out_dir / "spans.json").read_text())
+        assert spans["format"] == "ecn-udp-spans/1"
         stdout = capsys.readouterr().out
         assert "Table 1" in stdout
         assert "Figure 6" in stdout
@@ -98,3 +103,13 @@ class TestStudyAndReport:
         assert main(["report", "--study", str(out_dir)]) == 0
         reread = capsys.readouterr().out
         assert "Table 2" in reread
+
+        # And --dashboard renders the run dashboard next to the data.
+        assert main(["report", "--study", str(out_dir), "--dashboard"]) == 0
+        dashboard = (out_dir / "dashboard.html").read_text()
+        assert dashboard.startswith("<!DOCTYPE html>")
+        assert "Phase timing" in dashboard
+
+    def test_profile_requires_out(self, capsys):
+        assert main(["study", "--scale", "0.02", "--profile"]) == 2
+        assert "--profile needs --out" in capsys.readouterr().err
