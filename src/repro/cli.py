@@ -9,6 +9,13 @@ Usage (installed as ``ecnudp``, also ``python -m repro``):
 * ``ecnudp discover --scale 0.1`` — run only the DNS discovery phase.
 * ``ecnudp traceroute --scale 0.1 --vantage ec2-virginia --server 0``
   — print one annotated traceroute.
+* ``ecnudp serve --port 8750 --workers 2`` — run the multi-tenant
+  study server (submit/monitor studies over HTTP).
+* ``ecnudp studies --dir results/`` — enumerate a results tree's
+  run-id index (migrating pre-index archives into it).
+
+Exit codes: ``0`` success, ``2`` invalid arguments or unusable input
+(missing/corrupt study directories included).
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ from .core.analysis import (
 from .core.discovery import PoolDiscovery
 from .core.measurement import MeasurementApplication
 from .core.traces import TraceSet, TracerouteCampaign
+from .ioutil import atomic_write_text
 from .netsim.ipv4 import format_addr
 from .obs import (
     FilterError,
@@ -55,6 +63,24 @@ def _build_world(scale: float, seed: int) -> SyntheticInternet:
     return SyntheticInternet(params_for_scale(scale, seed))
 
 
+def _fail(message: str) -> int:
+    """Print a one-line error and return the CLI's failure exit code."""
+    print(message, file=sys.stderr)
+    return 2
+
+
+def _checked_world(scale: float, seed: int) -> SyntheticInternet:
+    """Build a world, treating any out-of-range scale as input error.
+
+    ``params_for_scale`` maps scales above 1 to the full paper scale;
+    on the command line that is almost certainly a typo, so the CLI
+    rejects it rather than silently running a 2500-server study.
+    """
+    if not 0 < scale <= 1:
+        raise ValueError(f"scale must be in (0, 1]: {scale!r}")
+    return _build_world(scale, seed)
+
+
 def _analyses(world: SyntheticInternet, traces: TraceSet, campaign: TracerouteCampaign):
     geo = analyze_geography(traces.server_addrs, world.geo)
     reach = analyze_reachability(traces)
@@ -69,18 +95,18 @@ def _analyses(world: SyntheticInternet, traces: TraceSet, campaign: TracerouteCa
 def cmd_study(args: argparse.Namespace) -> int:
     trace_filter = getattr(args, "trace_packets", None)
     workers = args.workers
+    if workers < 0:
+        return _fail(f"--workers must be >= 0: {workers}")
     span_detail = getattr(args, "spans", None)
     profile = getattr(args, "profile", False)
     obs_dir = args.out if args.out else None
     if profile and obs_dir is None:
-        print("--profile needs --out to write profile dumps into", file=sys.stderr)
-        return 2
+        return _fail("--profile needs --out to write profile dumps into")
     if trace_filter is not None:
         try:
             parse_filter(trace_filter)
         except FilterError as exc:
-            print(f"bad --trace-packets expression: {exc}", file=sys.stderr)
-            return 2
+            return _fail(f"bad --trace-packets expression: {exc}")
         if workers > 0:
             # Per-packet event streams have no wire encoding, so they
             # cannot come back from shard workers.
@@ -91,7 +117,10 @@ def cmd_study(args: argparse.Namespace) -> int:
             )
             workers = 0
 
-    world = _build_world(args.scale, args.seed)
+    try:
+        world = _checked_world(args.scale, args.seed)
+    except ValueError as exc:
+        return _fail(str(exc))
     print(f"built {world!r}", file=sys.stderr)
 
     fault_plan = None
@@ -206,7 +235,7 @@ def cmd_study(args: argparse.Namespace) -> int:
         manifest: dict = {"scale": args.scale, "seed": args.seed}
         if fault_plan is not None:
             manifest["chaos"] = fault_plan.summary()
-        (out / "manifest.json").write_text(json.dumps(manifest))
+        atomic_write_text(out / "manifest.json", json.dumps(manifest))
         traces.save(out / "traces.json")
         campaign.save(out / "traceroutes.json")
         export_summary_json(out / "summary.json", geo, reach, tcp, paths, corr)
@@ -223,7 +252,7 @@ def cmd_study(args: argparse.Namespace) -> int:
         export_figure_data(
             out / "figures", reach, tcp, diff_a, diff_b, tcp.pct_negotiated
         )
-        (out / "report.txt").write_text(text + "\n")
+        atomic_write_text(out / "report.txt", text + "\n")
         print(f"study written to {out}/", file=sys.stderr)
     print(text)
     if tracer is not None:
@@ -240,17 +269,21 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     study = Path(args.study)
     metrics_path = study / "metrics.json"
     if not metrics_path.exists():
-        print(
+        return _fail(
             f"no metrics.json in {study}/ — re-run the study with "
-            "`ecnudp study --metrics`",
-            file=sys.stderr,
+            "`ecnudp study --metrics`"
         )
-        return 2
-    snapshot = json.loads(metrics_path.read_text())
+    try:
+        snapshot = json.loads(metrics_path.read_text())
+    except (OSError, ValueError) as exc:
+        return _fail(f"unreadable {metrics_path}: {exc}")
     telemetry = None
     telemetry_path = study / "telemetry.json"
     if telemetry_path.exists():
-        document = json.loads(telemetry_path.read_text())
+        try:
+            document = json.loads(telemetry_path.read_text())
+        except (OSError, ValueError) as exc:
+            return _fail(f"unreadable {telemetry_path}: {exc}")
         telemetry = RunTelemetry(
             workers=document.get("workers", 0),
             wall_seconds=document.get("wall_seconds", 0.0),
@@ -266,11 +299,28 @@ def cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    study = Path(args.study)
-    manifest = json.loads((study / "manifest.json").read_text())
-    world = _build_world(manifest["scale"], manifest["seed"])
-    traces = TraceSet.load(study / "traces.json")
-    campaign = TracerouteCampaign.load(study / "traceroutes.json")
+    if args.study is not None:
+        study = Path(args.study)
+    else:
+        # --run-id: resolve the archive through the results index.
+        from .serve import StudyIndex, StudyIndexError
+
+        try:
+            resolved = StudyIndex(args.dir).directory(args.run_id)
+        except StudyIndexError as exc:
+            return _fail(str(exc))
+        if resolved is None:
+            return _fail(f"run id {args.run_id!r} not in {args.dir}/index.json")
+        study = resolved
+    if not study.is_dir():
+        return _fail(f"no study directory at {study}/")
+    try:
+        manifest = json.loads((study / "manifest.json").read_text())
+        world = _build_world(manifest["scale"], manifest["seed"])
+        traces = TraceSet.load(study / "traces.json")
+        campaign = TracerouteCampaign.load(study / "traceroutes.json")
+    except (OSError, ValueError, KeyError) as exc:
+        return _fail(f"cannot load study from {study}/: {exc}")
     geo, reach, diff_a, diff_b, tcp, paths, corr = _analyses(world, traces, campaign)
     print(full_report(geo, reach, diff_a, diff_b, tcp, campaign, paths, corr))
     dashboard = getattr(args, "dashboard", None)
@@ -284,7 +334,10 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 
 def cmd_discover(args: argparse.Namespace) -> int:
-    world = _build_world(args.scale, args.seed)
+    try:
+        world = _checked_world(args.scale, args.seed)
+    except ValueError as exc:
+        return _fail(str(exc))
     discovery = PoolDiscovery(
         world.vantage_hosts["ugla-wired"], world.dns_addr, world.pool.zone_names()
     )
@@ -303,7 +356,10 @@ def cmd_discover(args: argparse.Namespace) -> int:
 def cmd_traceroute(args: argparse.Namespace) -> int:
     from .core.probes import run_traceroute
 
-    world = _build_world(args.scale, args.seed)
+    try:
+        world = _checked_world(args.scale, args.seed)
+    except ValueError as exc:
+        return _fail(str(exc))
     if args.vantage not in world.vantage_hosts:
         print(f"unknown vantage {args.vantage!r}; one of: "
               f"{', '.join(world.vantage_hosts)}", file=sys.stderr)
@@ -331,7 +387,10 @@ def cmd_tracebox(args: argparse.Namespace) -> int:
     from .core.tracebox import run_tracebox
     from .netsim.ecn import dscp_from_tos, ecn_from_tos
 
-    world = _build_world(args.scale, args.seed)
+    try:
+        world = _checked_world(args.scale, args.seed)
+    except ValueError as exc:
+        return _fail(str(exc))
     if args.vantage not in world.vantage_hosts:
         print(f"unknown vantage {args.vantage!r}", file=sys.stderr)
         return 2
@@ -367,7 +426,10 @@ def cmd_validate(args: argparse.Namespace) -> int:
     from .core.analysis.uncertainty import headline_intervals
     from .core.analysis.validation import validate_study
 
-    world = _build_world(args.scale, args.seed)
+    try:
+        world = _checked_world(args.scale, args.seed)
+    except ValueError as exc:
+        return _fail(str(exc))
     app = MeasurementApplication(world)
     traces = app.run_study()
     campaign = app.run_traceroutes()
@@ -381,6 +443,68 @@ def cmd_validate(args: argparse.Namespace) -> int:
         print(
             f"  {quality.name:<18} precision={quality.precision:.2f} "
             f"recall={quality.recall:.2f} f1={quality.f1:.2f}"
+        )
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import logging
+
+    from .serve import ServeConfig, run_server
+
+    if not 0 <= args.port <= 65535:
+        return _fail(f"--port must be in [0, 65535]: {args.port}")
+    if args.workers < 0:
+        return _fail(f"--workers must be >= 0: {args.workers}")
+    if args.queue_depth < 1:
+        return _fail(f"--queue-depth must be >= 1: {args.queue_depth}")
+    if args.tenant_quota < 1:
+        return _fail(f"--tenant-quota must be >= 1: {args.tenant_quota}")
+    if args.max_concurrent < 1:
+        return _fail(f"--max-concurrent must be >= 1: {args.max_concurrent}")
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+    )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        tenant_quota=args.tenant_quota,
+        max_concurrent=args.max_concurrent,
+        data_dir=args.data_dir,
+    )
+    try:
+        asyncio.run(run_server(config))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0
+
+
+def cmd_studies(args: argparse.Namespace) -> int:
+    from .serve import StudyIndexError, migrate_results_root
+
+    root = Path(args.dir)
+    try:
+        index, added = migrate_results_root(root)
+    except StudyIndexError as exc:
+        return _fail(str(exc))
+    if added:
+        print(f"indexed {len(added)} pre-index archive(s)", file=sys.stderr)
+    entries = index.entries()
+    if args.json:
+        print(json.dumps({"studies": entries}, indent=2))
+        return 0
+    if not entries:
+        print(f"no studies indexed under {root}/")
+        return 0
+    for run_id, entry in entries.items():
+        tenant = entry.get("tenant", "-")
+        print(
+            f"{run_id:<16} {entry.get('status', '?'):<10} "
+            f"scale={entry.get('scale')} seed={entry.get('seed')} "
+            f"tenant={tenant} dir={entry.get('dir')}"
         )
     return 0
 
@@ -433,7 +557,13 @@ def build_parser() -> argparse.ArgumentParser:
     study.set_defaults(func=cmd_study)
 
     report = sub.add_parser("report", help="re-analyse a saved study")
-    report.add_argument("--study", type=str, required=True)
+    target = report.add_mutually_exclusive_group(required=True)
+    target.add_argument("--study", type=str, default=None,
+                        help="study archive directory")
+    target.add_argument("--run-id", type=str, default=None,
+                        help="run id, resolved through <--dir>/index.json")
+    report.add_argument("--dir", type=str, default="results",
+                        help="results tree for --run-id resolution")
     report.add_argument("--dashboard", nargs="?", const="", default=None,
                         metavar="PATH",
                         help="also render the run dashboard (HTML, or "
@@ -477,6 +607,35 @@ def build_parser() -> argparse.ArgumentParser:
     tracebox.add_argument("--server", type=int, default=0)
     tracebox.add_argument("--dscp", type=int, default=8)
     tracebox.set_defaults(func=cmd_tracebox)
+
+    serve = sub.add_parser(
+        "serve", help="run the multi-tenant HTTP study server"
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="listen port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="shared worker-pool processes for sharded "
+                            "study execution (0 = sequential threads)")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="max queued submissions before 429s")
+    serve.add_argument("--tenant-quota", type=int, default=4,
+                       help="max queued+running studies per tenant")
+    serve.add_argument("--max-concurrent", type=int, default=2,
+                       help="studies executing at once")
+    serve.add_argument("--data-dir", type=str, default="results",
+                       help="results tree (archives, index.json, "
+                            "queue.json between restarts)")
+    serve.set_defaults(func=cmd_serve)
+
+    studies = sub.add_parser(
+        "studies", help="list a results tree's indexed runs"
+    )
+    studies.add_argument("--dir", type=str, default="results",
+                        help="results tree holding index.json")
+    studies.add_argument("--json", action="store_true",
+                        help="emit the index as JSON")
+    studies.set_defaults(func=cmd_studies)
     return parser
 
 

@@ -16,6 +16,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from ..ioutil import atomic_write_text
+
 
 
 @dataclass(slots=True)
@@ -182,8 +184,9 @@ class TraceSet:
         return trace_set
 
     def save(self, path: str | Path) -> None:
-        """Write the trace set as JSON."""
-        Path(path).write_text(json.dumps(self.to_dict()))
+        """Write the trace set as JSON (atomically: a concurrent
+        reader sees the old file or the new file, never a prefix)."""
+        atomic_write_text(path, json.dumps(self.to_dict()))
 
     @classmethod
     def load(cls, path: str | Path) -> "TraceSet":
@@ -346,7 +349,7 @@ class TracerouteCampaign:
         return campaign
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict()))
+        atomic_write_text(path, json.dumps(self.to_dict()))
 
     @classmethod
     def load(cls, path: str | Path) -> "TracerouteCampaign":

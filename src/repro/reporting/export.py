@@ -17,6 +17,7 @@ from ..core.analysis.pathanalysis import PathAnalysis
 from ..core.analysis.reachability import ReachabilitySummary
 from ..core.analysis.tcp_ecn import TCPECNSummary
 from ..core.traces import TraceSet
+from ..ioutil import atomic_open, atomic_write_text
 
 
 def export_summary_json(
@@ -69,7 +70,7 @@ def export_summary_json(
             for row in correlation.rows
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=2))
+    atomic_write_text(path, json.dumps(payload, indent=2))
     return payload
 
 
@@ -95,7 +96,7 @@ def export_figure_data(
     written: list[Path] = []
 
     figure2 = directory / "figure2.csv"
-    with open(figure2, "w", newline="") as handle:
+    with atomic_open(figure2, newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(
             ("trace_id", "vantage", "batch", "pct_2a", "pct_2b", "tcp_reachable", "ecn_negotiated")
@@ -118,7 +119,7 @@ def export_figure_data(
 
     for name, analysis in (("figure3a", differential_a), ("figure3b", differential_b)):
         path = directory / f"{name}.csv"
-        with open(path, "w", newline="") as handle:
+        with atomic_open(path, newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(("vantage", "server_addr", "fraction"))
             for vantage_key in analysis.vantage_keys:
@@ -128,7 +129,7 @@ def export_figure_data(
         written.append(path)
 
     figure6 = directory / "figure6.csv"
-    with open(figure6, "w", newline="") as handle:
+    with atomic_open(figure6, newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(("year", "pct_negotiated", "study"))
         for point in ecn_deployment_series(measured_pct_negotiated):
@@ -144,14 +145,14 @@ def export_metrics_json(path: str | Path, snapshot: dict) -> dict:
     :func:`repro.obs.merge_snapshots` are already key-sorted, so the
     serialised bytes are stable across runs and shard orderings.
     """
-    Path(path).write_text(json.dumps(snapshot, indent=2))
+    atomic_write_text(path, json.dumps(snapshot, indent=2))
     return snapshot
 
 
 def export_telemetry_json(path: str | Path, telemetry) -> dict:
     """Write a :class:`repro.obs.RunTelemetry` document; returns it."""
     payload = telemetry.to_dict()
-    Path(path).write_text(json.dumps(payload, indent=2))
+    atomic_write_text(path, json.dumps(payload, indent=2))
     return payload
 
 
@@ -163,7 +164,7 @@ def export_spans_json(path: str | Path, spans: list[dict]) -> dict:
     flight-recorder dump format.
     """
     payload = {"format": "ecn-udp-spans/1", "spans": spans}
-    Path(path).write_text(json.dumps(payload, indent=2))
+    atomic_write_text(path, json.dumps(payload, indent=2))
     return payload
 
 
@@ -173,7 +174,7 @@ def export_traces_csv(path: str | Path, trace_set: TraceSet) -> int:
     Returns the number of data rows written.
     """
     rows = 0
-    with open(path, "w", newline="") as handle:
+    with atomic_open(path, newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(
             (

@@ -53,6 +53,7 @@ from .merge import (
     merge_campaign,
     merge_traces,
 )
+from .pool import SharedWorkerPool
 from .progress import ProgressAggregator, ProgressOverflowError
 from .scheduler import RetryPolicy, ShardExecutionError, ShardScheduler
 from .shard import KIND_TRACEROUTES, KIND_TRACES, Shard, plan_shards, shard_context_map
@@ -82,6 +83,7 @@ __all__ = [
     "ShardExecutionError",
     "ShardJob",
     "ShardScheduler",
+    "SharedWorkerPool",
     "WIRE_FORMAT",
     "collect_shard_spans",
     "decode_path",
@@ -115,6 +117,7 @@ def run_study_parallel(
     span_sink: list | None = None,
     flight_dir: str | Path | None = None,
     profile_dir: str | Path | None = None,
+    pool: SharedWorkerPool | None = None,
 ) -> tuple[TraceSet, TracerouteCampaign]:
     """Execute a full study as parallel shards and merge the results.
 
@@ -142,6 +145,13 @@ def run_study_parallel(
     worker installs the identical plan before its epochs run — the
     merged chaotic study stays bit-identical to a sequential run given
     the same plan.
+
+    ``pool`` executes the shards on a shared
+    :class:`~repro.runner.pool.SharedWorkerPool` instead of an owned
+    per-campaign executor — the study server's path, where many
+    concurrent studies multiplex one pool and reuse each worker's
+    per-process world cache across studies with the same
+    ``(scale, seed)``.  ``workers`` is then informational only.
 
     ``span_detail`` turns on per-shard span recording at the given
     level; worker subtrees ship back in the wire results and the
@@ -217,6 +227,7 @@ def run_study_parallel(
         metrics=runner_metrics,
         flight=parent_flight,
         flight_dir=flight_path,
+        pool=pool,
     )
     started = time.perf_counter()
     try:

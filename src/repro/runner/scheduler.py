@@ -63,9 +63,16 @@ class ShardScheduler:
         metrics=None,
         flight=None,
         flight_dir=None,
+        pool=None,
     ) -> None:
         self.workers = workers
         self.retry = retry if retry is not None else RetryPolicy()
+        #: Shared :class:`~repro.runner.pool.SharedWorkerPool` to
+        #: execute on instead of an owned executor.  The scheduler then
+        #: never tears the executor down itself — a dead/wedged pool is
+        #: *invalidated* (one rebuild even if many concurrent studies
+        #: diagnose it) and the pool outlives this campaign.
+        self.pool = pool
         #: Seconds of *global* inactivity (no shard completing) after
         #: which the pool is presumed hung, torn down, and all
         #: in-flight shards resubmitted.  ``None`` disables the check.
@@ -98,6 +105,8 @@ class ShardScheduler:
             self.flight.record(
                 "dispatch", shards=len(jobs), workers=self.workers
             )
+        if self.pool is not None:
+            return self._run_pooled(jobs, self.pool.acquire, on_complete)
         if self.workers <= 0:
             return self._run_inline(jobs, on_complete)
         executor_factory = self._executor_factory(len(jobs))
@@ -162,14 +171,17 @@ class ShardScheduler:
         executor_factory,
         on_complete: CompletionFn | None,
     ) -> list[dict]:
-        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures import FIRST_COMPLETED, CancelledError, wait
         from concurrent.futures.process import BrokenProcessPool
 
         executor = executor_factory()
         if executor is None:
             return self._run_inline(jobs, on_complete)
         results: list[dict] = []
-        pending = {executor.submit(execute_shard, job): job for job in jobs}
+        pending: dict = {}
+        executor = self._submit_batch(
+            executor, executor_factory, pending, list(jobs)
+        )
         try:
             while pending:
                 done, _ = wait(
@@ -181,7 +193,7 @@ class ShardScheduler:
                     # the shards still owed.
                     owed = list(pending.values())
                     pending.clear()
-                    executor.shutdown(wait=False, cancel_futures=True)
+                    self._discard_executor(executor)
                     executor = self._require_executor(executor_factory)
                     pending = self._gang_retry(
                         executor, owed, TimeoutError("no shard completed in time")
@@ -196,6 +208,14 @@ class ShardScheduler:
                     try:
                         result = future.result()
                     except BrokenProcessPool as exc:
+                        crashed.append(job)
+                        pool_error = exc
+                    except CancelledError as exc:
+                        # Only a pool teardown cancels in-flight futures
+                        # (this scheduler never cancels its own): on a
+                        # shared pool a sibling study's recovery tore
+                        # the executor down under us.  Same treatment
+                        # as a broken pool — gang retry on a fresh one.
                         crashed.append(job)
                         pool_error = exc
                     except Exception as exc:  # noqa: BLE001 - retry boundary
@@ -216,16 +236,50 @@ class ShardScheduler:
                     owed = crashed + [job for job, _ in failed]
                     owed.extend(pending.values())
                     pending.clear()
-                    executor.shutdown(wait=False, cancel_futures=True)
+                    self._discard_executor(executor)
                     executor = self._require_executor(executor_factory)
                     pending = self._gang_retry(executor, owed, pool_error)
                 else:
-                    for job, exc in failed:
-                        retry = self._next_attempt(job, exc)
-                        pending[executor.submit(execute_shard, retry)] = retry
+                    retries = [
+                        self._next_attempt(job, exc) for job, exc in failed
+                    ]
+                    executor = self._submit_batch(
+                        executor, executor_factory, pending, retries
+                    )
         finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+            if self.pool is None:
+                executor.shutdown(wait=False, cancel_futures=True)
         return results
+
+    def _submit_batch(self, executor, executor_factory, pending, batch):
+        """Submit jobs, surviving a shared executor dying mid-submit.
+
+        On an owned pool ``submit`` cannot fail this way; on a shared
+        pool a sibling study's recovery may shut the executor down
+        between our ``wait`` and this submit, which raises
+        ``RuntimeError``.  The unsubmitted remainder plus everything
+        already in flight is then gang-retried on a fresh executor.
+        Returns the (possibly replaced) executor.
+        """
+        for index, job in enumerate(batch):
+            try:
+                pending[executor.submit(execute_shard, job)] = job
+            except RuntimeError as exc:
+                owed = batch[index:] + list(pending.values())
+                pending.clear()
+                self._discard_executor(executor)
+                executor = self._require_executor(executor_factory)
+                pending.update(self._gang_retry(executor, owed, exc))
+                break
+        return executor
+
+    def _discard_executor(self, executor) -> None:
+        """Retire a dead executor: owned pools are shut down, shared
+        pools are invalidated (one rebuild across all users)."""
+        if self.pool is not None:
+            self.pool.invalidate(executor)
+        else:
+            executor.shutdown(wait=False, cancel_futures=True)
 
     def _gang_retry(self, executor, owed, cause: Exception):
         """Charge one attempt to every shard still owed and resubmit.

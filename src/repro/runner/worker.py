@@ -91,8 +91,21 @@ class ShardJob:
 
 
 #: Per-process world cache: building a synthetic Internet dominates
-#: small-shard runtime, and every shard of a study shares one.
+#: small-shard runtime, and every shard of a study shares one.  The
+#: cache is a small LRU rather than single-entry: a long-lived shared
+#: pool (``ecnudp serve``) interleaves shards of *different* studies on
+#: one worker, and clearing on every key change would rebuild worlds
+#: per shard instead of per study.  Insertion order is the LRU order.
 _WORLD_CACHE: dict[tuple[float, int, FaultPlan | None], SyntheticInternet] = {}
+
+#: Worlds kept per worker process.  Small on purpose: a full-scale
+#: world is large, and a server mixing more than this many distinct
+#: ``(scale, seed, plan)`` keys at once should pay rebuilds, not RAM.
+WORLD_CACHE_SIZE = 4
+
+#: Lifetime cache hits/misses for this worker process (observability
+#: and the serve dedupe tests; not part of the shard wire format).
+_WORLD_CACHE_STATS = {"hits": 0, "misses": 0}
 
 #: Per-process flight recorder: the black box this worker dumps when a
 #: shard execution dies.  One ring per process (not per shard) so the
@@ -106,14 +119,25 @@ def _world_for(
     key = (scale, seed, fault_plan)
     world = _WORLD_CACHE.get(key)
     if world is None:
-        # One study's shards all share a world; drop other studies'
-        # worlds so long-lived pools don't accumulate topologies.
-        _WORLD_CACHE.clear()
+        _WORLD_CACHE_STATS["misses"] += 1
+        # Evict least-recently-used worlds so long-lived pools don't
+        # accumulate topologies beyond the budget.
+        while len(_WORLD_CACHE) >= WORLD_CACHE_SIZE:
+            _WORLD_CACHE.pop(next(iter(_WORLD_CACHE)))
         world = SyntheticInternet(params_for_scale(scale, seed))
         if fault_plan is not None:
             world.install_fault_plan(fault_plan)
         _WORLD_CACHE[key] = world
+    else:
+        _WORLD_CACHE_STATS["hits"] += 1
+        # Move-to-end marks the key most recently used.
+        _WORLD_CACHE[key] = _WORLD_CACHE.pop(key)
     return world
+
+
+def world_cache_stats() -> dict:
+    """This process's world-cache hit/miss counters (a copy)."""
+    return dict(_WORLD_CACHE_STATS)
 
 
 def _flight_recorder() -> FlightRecorder:

@@ -1,0 +1,337 @@
+"""Concurrent study execution behind the queue.
+
+The scheduler owns the execution side of the server: it drains the
+:class:`~repro.serve.queue.StudyQueue` into at most ``max_concurrent``
+studies in flight, runs each study in a worker thread (the event loop
+never blocks on simulation work), multiplexes every sharded study over
+one :class:`~repro.runner.SharedWorkerPool`, and fans per-study
+progress back into async-consumable :class:`RunHandle` feeds that the
+HTTP layer streams.
+
+Two caches make the multi-tenant case cheap:
+
+* the **parent world cache** here — ``(scale, seed)`` to a built
+  synthetic Internet *plus its first-discovery target list*.  The pair
+  matters: DNS pool rotation is stateful, so only the first discovery
+  against a world matches a fresh ``Study.run``; caching world and
+  targets together keeps served runs bit-identical to direct ones.
+* the **per-process world cache** inside pool workers
+  (:mod:`repro.runner.worker`), shared across studies because the pool
+  itself is shared.
+
+Sequential execution (``study_workers == 0``) takes a per-world lock —
+a world is mutated while a sequential study runs on it, so same-key
+studies serialise; pooled studies only read the parent world and run
+lock-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.discovery import PoolDiscovery
+from ..obs import MetricsRegistry
+from ..scenario.internet import SyntheticInternet
+from ..scenario.parameters import params_for_scale
+from ..study import Study
+from .index import (
+    STATUS_CANCELLED,
+    STATUS_COMPLETE,
+    STATUS_FAILED,
+    STATUS_QUEUED,
+    STATUS_RUNNING,
+    StudyIndex,
+)
+from .queue import StudyQueue, Submission
+
+logger = logging.getLogger("repro.serve")
+
+#: Parent-side worlds kept; small — worlds are the big allocation.
+PARENT_WORLD_CACHE_SIZE = 4
+
+
+@dataclass
+class RunHandle:
+    """Live state of one submitted run, consumable from the loop.
+
+    ``events`` only grows; stream consumers remember their offset and
+    wait on ``changed`` for more.  All mutation happens on the event
+    loop thread (worker threads post through ``call_soon_threadsafe``),
+    so readers on the loop never see torn state.
+    """
+
+    submission: Submission
+    status: str = STATUS_QUEUED
+    error: str | None = None
+    events: list[dict] = field(default_factory=list)
+    changed: asyncio.Event = field(default_factory=asyncio.Event)
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def run_id(self) -> str:
+        return self.submission.run_id
+
+    @property
+    def done(self) -> bool:
+        return self.status in (STATUS_COMPLETE, STATUS_FAILED, STATUS_CANCELLED)
+
+    def post(self, event: dict) -> None:
+        """Append an event and wake streamers (loop thread only)."""
+        self.events.append(event)
+        self.changed.set()
+        self.changed = asyncio.Event() if not self.done else self.changed
+
+    def describe(self) -> dict:
+        payload = {
+            "run_id": self.run_id,
+            "tenant": self.submission.tenant,
+            "priority": self.submission.priority,
+            "status": self.status,
+            "params": self.submission.params.to_dict(),
+            "events": len(self.events),
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.started_at is not None and self.finished_at is not None:
+            payload["elapsed_seconds"] = round(self.finished_at - self.started_at, 3)
+        return payload
+
+
+@dataclass
+class _WorldEntry:
+    world: SyntheticInternet
+    targets: list[int]
+    #: Exclusive access for sequential runs (which mutate the world).
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class WorldCache:
+    """Thread-safe LRU of built worlds + first-discovery targets."""
+
+    def __init__(self, size: int = PARENT_WORLD_CACHE_SIZE, metrics=None) -> None:
+        self.size = size
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: dict[tuple[float, int], _WorldEntry] = {}
+
+    def entry_for(self, scale: float, seed: int) -> _WorldEntry:
+        key = (scale, seed)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries[key] = self._entries.pop(key)  # mark MRU
+                if self.metrics:
+                    self.metrics.incr("serve.world_cache.hits")
+                return entry
+        # Build outside the cache lock: worlds take real time and two
+        # distinct keys must be able to build concurrently.  A racing
+        # build of the *same* key is wasteful but harmless — identical
+        # params build identical worlds; last writer wins.
+        if self.metrics:
+            self.metrics.incr("serve.world_cache.misses")
+        world = SyntheticInternet(params_for_scale(scale, seed))
+        targets = PoolDiscovery(
+            world.vantage_hosts["ugla-wired"],
+            world.dns_addr,
+            world.pool.zone_names(),
+        ).run().addresses
+        entry = _WorldEntry(world=world, targets=list(targets))
+        with self._lock:
+            existing = self._entries.get(key)
+            if existing is not None:
+                return existing
+            while len(self._entries) >= self.size:
+                self._entries.pop(next(iter(self._entries)))
+            self._entries[key] = entry
+        return entry
+
+
+class StudyScheduler:
+    """Drain the queue into concurrently executing studies."""
+
+    def __init__(
+        self,
+        queue: StudyQueue,
+        index: StudyIndex,
+        studies_dir: str | Path,
+        pool=None,
+        study_workers: int = 0,
+        max_concurrent: int = 2,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError(f"max_concurrent must be >= 1: {max_concurrent!r}")
+        self.queue = queue
+        self.index = index
+        self.studies_dir = Path(studies_dir)
+        #: Shared :class:`~repro.runner.SharedWorkerPool`; ``None``
+        #: runs every study sequentially in its thread.
+        self.pool = pool
+        self.study_workers = study_workers
+        self.max_concurrent = max_concurrent
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.worlds = WorldCache(metrics=self.metrics)
+        self.runs: dict[str, RunHandle] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._wakeup = asyncio.Event()
+        self._draining = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        #: Recent run durations feeding the queue's Retry-After hint.
+        self._durations: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Run registry
+    # ------------------------------------------------------------------
+    def track(self, submission: Submission, status: str = STATUS_QUEUED) -> RunHandle:
+        handle = RunHandle(submission=submission, status=status)
+        self.runs[submission.run_id] = handle
+        return handle
+
+    def handle(self, run_id: str) -> RunHandle | None:
+        return self.runs.get(run_id)
+
+    def kick(self) -> None:
+        """Wake the dispatch loop (new submission, freed slot...)."""
+        self._wakeup.set()
+
+    @property
+    def running_count(self) -> int:
+        return len(self._tasks)
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+    async def run_forever(self) -> None:
+        """Dispatch until cancelled; owned by the server's lifetime."""
+        self._loop = asyncio.get_running_loop()
+        while True:
+            self._dispatch_ready()
+            self._wakeup.clear()
+            await self._wakeup.wait()
+
+    def _dispatch_ready(self) -> None:
+        while not self._draining and len(self._tasks) < self.max_concurrent:
+            submission = self.queue.pop()
+            if submission is None:
+                return
+            handle = self.runs.get(submission.run_id)
+            if handle is None:
+                handle = self.track(submission)
+            handle.status = STATUS_RUNNING
+            handle.started_at = time.monotonic()
+            handle.post({"type": "started", "run_id": submission.run_id})
+            try:
+                self.index.set_status(submission.run_id, STATUS_RUNNING)
+            except KeyError:
+                pass
+            task = asyncio.create_task(self._run_one(handle))
+            self._tasks.add(task)
+            task.add_done_callback(self._task_finished)
+
+    def _task_finished(self, task: asyncio.Task) -> None:
+        self._tasks.discard(task)
+        if not task.cancelled() and task.exception() is not None:
+            logger.exception("study task died", exc_info=task.exception())
+        self.kick()
+
+    async def _run_one(self, handle: RunHandle) -> None:
+        submission = handle.submission
+        loop = asyncio.get_running_loop()
+
+        def progress(done: int, total: int, label: str) -> None:
+            # Called from the study thread: hop to the loop before
+            # touching the handle.
+            loop.call_soon_threadsafe(
+                handle.post,
+                {"type": "progress", "done": done + 1, "total": total, "label": label},
+            )
+
+        try:
+            await asyncio.to_thread(self._execute, submission, progress)
+        except Exception as exc:  # noqa: BLE001 - per-run failure boundary
+            logger.warning("run %s failed: %s", submission.run_id, exc)
+            handle.status = STATUS_FAILED
+            handle.error = f"{type(exc).__name__}: {exc}"
+            self.metrics.incr("serve.failed")
+            try:
+                self.index.set_status(submission.run_id, STATUS_FAILED, error=handle.error)
+            except KeyError:
+                pass
+        else:
+            handle.status = STATUS_COMPLETE
+            self.metrics.incr("serve.completed")
+            # Register completion here, on the loop thread: the index
+            # follows a single-writer discipline per root (lost updates
+            # otherwise — a second instance's flush would revert other
+            # runs' statuses from its stale cache), so the save path
+            # below deliberately archives without touching the index.
+            self.index.register(
+                submission.run_id,
+                self.studies_dir / submission.run_id,
+                scale=submission.params.scale,
+                seed=submission.params.seed,
+                status=STATUS_COMPLETE,
+                tenant=submission.tenant,
+            )
+        finally:
+            handle.finished_at = time.monotonic()
+            if handle.started_at is not None:
+                self._durations.append(handle.finished_at - handle.started_at)
+                del self._durations[:-20]
+                self.queue.avg_run_seconds = sum(self._durations) / len(self._durations)
+            self.queue.finish(submission.run_id)
+            handle.post(
+                {
+                    "type": "finished",
+                    "run_id": submission.run_id,
+                    "status": handle.status,
+                    **({"error": handle.error} if handle.error else {}),
+                }
+            )
+            self.kick()
+
+    # ------------------------------------------------------------------
+    # Study execution (worker thread)
+    # ------------------------------------------------------------------
+    def _execute(self, submission: Submission, progress) -> None:
+        params = submission.params
+        entry = self.worlds.entry_for(params.scale, params.seed)
+        run_dir = self.studies_dir / submission.run_id
+        common = dict(
+            scale=params.scale,
+            seed=params.seed,
+            traceroutes=params.traceroutes,
+            faults=params.chaos,
+            chaos_seed=params.chaos_seed,
+            progress=progress,
+            world=entry.world,
+            targets=entry.targets,
+        )
+        if self.pool is not None:
+            study = Study.run(
+                workers=max(self.study_workers, 1), pool=self.pool, **common
+            )
+        else:
+            # Sequential runs mutate the world: same-(scale, seed)
+            # studies serialise on the world's lock, distinct worlds
+            # run concurrently.
+            with entry.lock:
+                study = Study.run(workers=0, **common)
+        # No run_id: _run_one registers the completed archive through
+        # the server's index instance (the root's single writer).
+        study.save(run_dir)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Stop dispatching and wait for in-flight studies to finish."""
+        self._draining = True
+        while self._tasks:
+            await asyncio.wait(set(self._tasks))

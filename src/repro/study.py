@@ -33,6 +33,7 @@ from .core.analysis.validation import InferenceQuality, validate_study
 from .core.discovery import PoolDiscovery
 from .core.measurement import MeasurementApplication
 from .core.traces import TraceSet, TracerouteCampaign
+from .ioutil import atomic_write_text
 from .obs import (
     DETAIL_EPOCH,
     MetricsRegistry,
@@ -94,6 +95,9 @@ class Study:
         record_spans: bool | str = False,
         obs_dir: str | Path | None = None,
         profile: bool = False,
+        world: SyntheticInternet | None = None,
+        targets: list[int] | None = None,
+        pool=None,
     ) -> "Study":
         """Execute the full §3 methodology at the given scale.
 
@@ -119,6 +123,19 @@ class Study:
         seeded by ``chaos_seed``; either way the plan is a pure value,
         so sequential and sharded chaotic runs stay bit-identical.
 
+        ``world`` reuses an existing synthetic Internet instead of
+        building one — it must have been built from exactly
+        ``params_for_scale(scale, seed)``.  Hermetic measurement epochs
+        make worlds reusable across studies: a rerun against a cached
+        world is bit-identical to one against a fresh build, **provided
+        discovery is not rerun** (DNS pool rotation is stateful, so a
+        second discovery sees a different rotation).  Callers reusing a
+        world must therefore also pass ``targets`` captured from the
+        first run's discovery; the study server caches the pair.
+        ``pool`` runs a sharded study's shards on a shared
+        :class:`~repro.runner.SharedWorkerPool` rather than an owned
+        per-study executor (requires ``workers > 0``).
+
         ``record_spans`` turns on the hierarchical span timeline
         (``True`` = epoch detail, or pass a
         :mod:`~repro.obs.spans` detail level); the assembled span list
@@ -133,7 +150,10 @@ class Study:
             span_detail = DETAIL_EPOCH if record_spans is True else record_spans
         if profile and obs_dir is None:
             raise ValueError("profile=True needs obs_dir to write profiles into")
-        world = SyntheticInternet(params_for_scale(scale, seed))
+        if pool is not None and workers <= 0:
+            raise ValueError("pool= requires workers > 0 (sharded execution)")
+        if world is None:
+            world = SyntheticInternet(params_for_scale(scale, seed))
         fault_plan = None
         if faults is not None:
             from .faults import FaultPlan, generate_fault_plan
@@ -146,8 +166,7 @@ class Study:
                 )
             if not fault_plan.events:
                 fault_plan = None
-        targets = None
-        if discover:
+        if targets is None and discover:
             report = PoolDiscovery(
                 world.vantage_hosts["ugla-wired"],
                 world.dns_addr,
@@ -183,6 +202,7 @@ class Study:
                 span_sink=span_sink if span_detail is not None else None,
                 flight_dir=obs_dir,
                 profile_dir=obs_dir if profile else None,
+                pool=pool,
             )
             if span_detail is not None:
                 span_list = span_sink
@@ -341,8 +361,21 @@ class Study:
             self.correlation,
         )
 
-    def save(self, directory: str | Path) -> Path:
-        """Archive the study (manifest + datasets + summary + CSVs)."""
+    def save(self, directory: str | Path, run_id: str | None = None) -> Path:
+        """Archive the study (manifest + datasets + summary + CSVs).
+
+        Every artefact is written atomically (temp file +
+        ``os.replace``), so a concurrent reader — the study server
+        streams archives while sibling studies are still saving — can
+        never observe a partially written file.
+
+        ``run_id`` additionally registers the archive in the results
+        tree's top-level ``index.json`` (the directory's parent is
+        taken as the tree root).  The archive's own contents are
+        byte-identical with or without a run id: run metadata lives in
+        the index, not the manifest, which keeps served artefacts
+        bit-identical to a direct ``Study.run().save()``.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         manifest: dict = {"scale": self.scale, "seed": self.seed}
@@ -351,7 +384,7 @@ class Study:
             # load() rebuilds a pristine world, so ground-truth
             # comparisons against these traces need this caveat.
             manifest["chaos"] = self.telemetry.chaos
-        (directory / "manifest.json").write_text(json.dumps(manifest))
+        atomic_write_text(directory / "manifest.json", json.dumps(manifest))
         self.traces.save(directory / "traces.json")
         self.campaign.save(directory / "traceroutes.json")
         export_summary_json(
@@ -381,7 +414,13 @@ class Study:
             self.differential_ect_only,
             self.tcp_ecn.pct_negotiated,
         )
-        (directory / "report.txt").write_text(self.report() + "\n")
+        atomic_write_text(directory / "report.txt", self.report() + "\n")
+        if run_id is not None:
+            from .serve.index import StudyIndex
+
+            StudyIndex(directory.parent).register(
+                run_id, directory, scale=self.scale, seed=self.seed
+            )
         return directory
 
     @classmethod

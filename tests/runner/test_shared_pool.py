@@ -1,0 +1,88 @@
+"""Tests for the shared worker pool behind the study server."""
+
+import pytest
+
+from repro.runner import SharedWorkerPool
+from repro.study import Study
+
+
+class TestPoolLifecycle:
+    def test_width_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SharedWorkerPool(0)
+
+    def test_invalidate_unknown_executor_is_noop(self):
+        pool = SharedWorkerPool(1)
+        pool.invalidate(None)
+        pool.invalidate(object())  # stale handle from a rebuilt pool
+        assert pool.rebuilds == 0
+        pool.shutdown()
+
+    def test_shutdown_then_acquire_raises(self):
+        pool = SharedWorkerPool(1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.acquire()
+
+    def test_shutdown_before_build_is_clean(self):
+        SharedWorkerPool(2).shutdown()
+
+    def test_context_avoids_fork(self):
+        # Workers must not inherit the serving process's descriptors:
+        # plain fork would keep accepted client sockets open in the
+        # workers (peers never see EOF after close).
+        context = SharedWorkerPool._context()
+        assert context.get_start_method() in ("forkserver", "spawn")
+
+
+@pytest.mark.slow
+class TestSharedExecution:
+    def test_pooled_runs_are_bit_identical_and_share_the_executor(self, tmp_path):
+        scale, seed = 0.02, 11
+        sequential = Study.run(scale=scale, seed=seed)
+        pool = SharedWorkerPool(2)
+        try:
+            first = Study.run(scale=scale, seed=seed, workers=2, pool=pool)
+            second = Study.run(scale=scale, seed=seed, workers=2, pool=pool)
+            assert pool.rebuilds == 0
+        finally:
+            pool.shutdown()
+        for study in (first, second):
+            assert study.report() == sequential.report()
+
+        def export(study, name):
+            directory = tmp_path / name
+            study.save(directory)
+            return {
+                artifact: (directory / artifact).read_bytes()
+                for artifact in ("traces.json", "traceroutes.json", "summary.json")
+            }
+
+        baseline = export(sequential, "seq")
+        assert export(first, "first") == baseline
+        assert export(second, "second") == baseline
+
+    def test_invalidate_recovers_with_a_fresh_executor(self):
+        pool = SharedWorkerPool(2)
+        try:
+            executor = pool.acquire()
+            if executor is None:
+                pytest.skip("platform cannot start worker processes")
+            pool.invalidate(executor)
+            pool.invalidate(executor)  # idempotent per instance
+            assert pool.rebuilds == 1
+            rebuilt = pool.acquire()
+            assert rebuilt is not None and rebuilt is not executor
+            # The rebuilt pool still executes work.
+            study = Study.run(scale=0.002, seed=3, workers=2, pool=pool)
+            assert study.traces is not None
+        finally:
+            pool.shutdown()
+
+    def test_pool_with_workers_zero_is_rejected(self):
+        pool = SharedWorkerPool(1)
+        try:
+            with pytest.raises(ValueError):
+                Study.run(scale=0.002, seed=3, workers=0, pool=pool)
+        finally:
+            pool.shutdown()

@@ -1,0 +1,65 @@
+"""A raw asyncio HTTP client for driving the study server in tests.
+
+The tests drive the real server over real sockets with a deliberately
+independent client (hand-rolled request bytes, hand-decoded chunked
+framing) so framing bugs cannot cancel out between the two sides.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+
+async def request(port, method, path, body=None, headers=None):
+    """One HTTP exchange; returns ``(status, headers, payload bytes)``."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    data = json.dumps(body).encode() if body is not None else b""
+    head = f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+    for name, value in (headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    if data:
+        head += f"Content-Length: {len(data)}\r\n"
+    writer.write(head.encode() + b"\r\n" + data)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except ConnectionError:
+        pass
+    status = int(raw.split(b" ", 2)[1])
+    raw_head, _, payload = raw.partition(b"\r\n\r\n")
+    response_headers = {}
+    for line in raw_head.split(b"\r\n")[1:]:
+        name, _, value = line.decode("latin-1").partition(":")
+        response_headers[name.strip().lower()] = value.strip()
+    if response_headers.get("transfer-encoding") == "chunked":
+        decoded, rest = b"", payload
+        while rest:
+            size_text, _, rest = rest.partition(b"\r\n")
+            size = int(size_text, 16)
+            if size == 0:
+                break
+            decoded += rest[:size]
+            rest = rest[size + 2:]
+        payload = decoded
+    return status, response_headers, payload
+
+
+async def request_json(port, method, path, body=None, headers=None):
+    """Like :func:`request` but decodes the payload as JSON."""
+    status, response_headers, payload = await request(
+        port, method, path, body=body, headers=headers
+    )
+    return status, response_headers, json.loads(payload) if payload else None
+
+
+async def wait_idle(server, timeout=120.0):
+    """Wait until the server has no queued or running studies."""
+    deadline = asyncio.get_running_loop().time() + timeout
+    while asyncio.get_running_loop().time() < deadline:
+        if server.queue.queued_count == 0 and server.scheduler.running_count == 0:
+            return
+        await asyncio.sleep(0.05)
+    raise TimeoutError("server did not go idle")

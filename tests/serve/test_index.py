@@ -1,0 +1,115 @@
+"""Unit tests for the results tree's run-id index and its migration."""
+
+import json
+
+import pytest
+
+from repro.serve.index import (
+    INDEX_FORMAT,
+    STATUS_COMPLETE,
+    STATUS_QUEUED,
+    StudyIndex,
+    StudyIndexError,
+    migrate_results_root,
+)
+
+
+class TestStudyIndex:
+    def test_register_and_reload(self, tmp_path):
+        index = StudyIndex(tmp_path)
+        entry = index.register("run-1", tmp_path / "run-1", scale=0.01, seed=7,
+                               status=STATUS_QUEUED, tenant="alice")
+        assert entry["dir"] == "run-1"  # stored relative to the root
+        assert "run-1" in index and len(index) == 1
+
+        reloaded = StudyIndex(tmp_path)
+        got = reloaded.get("run-1")
+        assert got["scale"] == 0.01 and got["tenant"] == "alice"
+        assert reloaded.directory("run-1") == tmp_path / "run-1"
+
+    def test_document_format(self, tmp_path):
+        StudyIndex(tmp_path).register("r", tmp_path / "r", scale=0.1, seed=1)
+        document = json.loads((tmp_path / "index.json").read_text())
+        assert document["format"] == INDEX_FORMAT
+        assert list(document["studies"]) == ["r"]
+
+    def test_outside_directory_stays_absolute(self, tmp_path):
+        index = StudyIndex(tmp_path / "root")
+        elsewhere = tmp_path / "elsewhere" / "x"
+        index.register("r", elsewhere, scale=0.1, seed=1)
+        assert StudyIndex(tmp_path / "root").directory("r") == elsewhere
+
+    def test_set_status(self, tmp_path):
+        index = StudyIndex(tmp_path)
+        index.register("r", tmp_path / "r", scale=0.1, seed=1, status=STATUS_QUEUED)
+        index.set_status("r", STATUS_COMPLETE)
+        assert StudyIndex(tmp_path).get("r")["status"] == STATUS_COMPLETE
+        with pytest.raises(KeyError):
+            index.set_status("ghost", STATUS_COMPLETE)
+
+    def test_remove(self, tmp_path):
+        index = StudyIndex(tmp_path)
+        index.register("r", tmp_path / "r", scale=0.1, seed=1)
+        index.remove("r")
+        index.remove("r")  # idempotent
+        assert "r" not in StudyIndex(tmp_path)
+
+    def test_corrupt_index_raises(self, tmp_path):
+        (tmp_path / "index.json").write_text("{not json")
+        with pytest.raises(StudyIndexError):
+            StudyIndex(tmp_path)
+
+    def test_foreign_format_raises(self, tmp_path):
+        (tmp_path / "index.json").write_text(json.dumps({"format": "other/9"}))
+        with pytest.raises(StudyIndexError):
+            StudyIndex(tmp_path)
+
+    def test_entries_are_copies(self, tmp_path):
+        index = StudyIndex(tmp_path)
+        index.register("r", tmp_path / "r", scale=0.1, seed=1)
+        index.entries()["r"]["status"] = "mutated"
+        assert index.get("r")["status"] == STATUS_COMPLETE
+
+
+class TestMigration:
+    def make_archive(self, root, name, scale=0.02, seed=3):
+        directory = root / name
+        directory.mkdir(parents=True)
+        (directory / "manifest.json").write_text(
+            json.dumps({"scale": scale, "seed": seed})
+        )
+        return directory
+
+    def test_adopts_legacy_archives(self, tmp_path):
+        self.make_archive(tmp_path, "study-a")
+        self.make_archive(tmp_path, "study-b", seed=4)
+        (tmp_path / "not-a-study").mkdir()  # no manifest: skipped
+        index, added = migrate_results_root(tmp_path)
+        assert sorted(added) == ["study-a", "study-b"]
+        assert index.get("study-a")["status"] == STATUS_COMPLETE
+        assert index.get("study-b")["seed"] == 4
+
+    def test_migration_is_idempotent(self, tmp_path):
+        self.make_archive(tmp_path, "study-a")
+        migrate_results_root(tmp_path)
+        _, added = migrate_results_root(tmp_path)
+        assert added == []
+
+    def test_unreadable_manifest_skipped(self, tmp_path):
+        directory = tmp_path / "broken"
+        directory.mkdir()
+        (directory / "manifest.json").write_text("{nope")
+        _, added = migrate_results_root(tmp_path)
+        assert added == []
+
+    def test_missing_root_is_empty(self, tmp_path):
+        index, added = migrate_results_root(tmp_path / "ghost")
+        assert added == [] and len(index) == 0
+
+    def test_existing_entries_not_clobbered(self, tmp_path):
+        directory = self.make_archive(tmp_path, "study-a")
+        index = StudyIndex(tmp_path)
+        index.register("study-a", directory, scale=0.5, seed=99, tenant="alice")
+        _, added = migrate_results_root(tmp_path)
+        assert added == []
+        assert StudyIndex(tmp_path).get("study-a")["seed"] == 99

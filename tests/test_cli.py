@@ -113,3 +113,81 @@ class TestStudyAndReport:
     def test_profile_requires_out(self, capsys):
         assert main(["study", "--scale", "0.02", "--profile"]) == 2
         assert "--profile needs --out" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """Validation failures exit 2 with a one-line stderr message."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["study", "--scale", "5"],
+            ["study", "--scale", "0"],
+            ["study", "--scale", "0.1", "--workers", "-1"],
+            ["discover", "--scale", "-1"],
+            ["validate", "--scale", "99"],
+            ["report", "--study", "/nonexistent-study"],
+            ["metrics", "--study", "/nonexistent-study"],
+            ["serve", "--port", "-1"],
+            ["serve", "--workers", "-1"],
+            ["serve", "--queue-depth", "0"],
+            ["serve", "--tenant-quota", "0"],
+            ["serve", "--max-concurrent", "0"],
+        ],
+    )
+    def test_invalid_input_exits_2(self, argv, capsys):
+        assert main(argv) == 2
+        assert capsys.readouterr().err.strip()
+
+    def test_report_missing_run_id_exits_2(self, tmp_path, capsys):
+        assert main(["report", "--run-id", "ghost", "--dir", str(tmp_path)]) == 2
+        assert "ghost" in capsys.readouterr().err
+
+    def test_report_corrupt_study_exits_2(self, tmp_path, capsys):
+        study = tmp_path / "broken"
+        study.mkdir()
+        (study / "manifest.json").write_text("{nope")
+        assert main(["report", "--study", str(study)]) == 2
+        assert "cannot load study" in capsys.readouterr().err
+
+
+class TestStudiesCommand:
+    def test_lists_and_migrates(self, tmp_path, capsys):
+        study = tmp_path / "legacy"
+        study.mkdir()
+        (study / "manifest.json").write_text(json.dumps({"scale": 0.01, "seed": 5}))
+        assert main(["studies", "--dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "legacy" in captured.out
+        assert "indexed 1 pre-index archive" in captured.err
+
+        assert main(["studies", "--dir", str(tmp_path), "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["studies"]["legacy"]["seed"] == 5
+
+    def test_empty_tree(self, tmp_path, capsys):
+        assert main(["studies", "--dir", str(tmp_path)]) == 0
+        assert "no studies indexed" in capsys.readouterr().out
+
+    def test_corrupt_index_exits_2(self, tmp_path, capsys):
+        (tmp_path / "index.json").write_text("{nope")
+        assert main(["studies", "--dir", str(tmp_path)]) == 2
+        assert "unreadable" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_and_studies_subcommands_exist(self):
+        parser = build_parser()
+        serve = parser.parse_args(["serve", "--port", "0", "--workers", "1"])
+        assert callable(serve.func)
+        assert serve.queue_depth == 16 and serve.tenant_quota == 4
+        studies = parser.parse_args(["studies", "--dir", "x", "--json"])
+        assert callable(studies.func)
+
+    def test_report_study_and_run_id_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["report", "--study", "x", "--run-id", "y"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report"])

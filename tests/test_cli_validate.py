@@ -14,3 +14,9 @@ class TestValidateCommand:
             assert name in out
         # Quality numbers are printed as precision/recall/f1 triples.
         assert "precision=" in out and "recall=" in out and "f1=" in out
+
+
+class TestValidateExitCodes:
+    def test_bad_scale_exits_2(self, capsys):
+        assert main(["validate", "--scale", "-0.5"]) == 2
+        assert "scale" in capsys.readouterr().err
