@@ -26,8 +26,17 @@ Usage::
     # refresh the committed baseline (after a deliberate perf change)
     python benchmarks/check_regression.py --current bench.json --update
 
+The gate is two-sided.  A benchmark that got more than 30 % *faster*
+than the baseline also fails ("stale baseline"): large unratcheted
+improvements leave headroom in which real regressions hide — a 2×
+speedup followed by a 1.5× slowdown still reads "ok" against the old
+number.  After a deliberate perf change, re-ratchet with ``--update``
+and commit the new ``BENCH_baseline.json``.
+
 Environment: ``ECNUDP_BENCH_TOLERANCE`` overrides the slowdown factor
-(e.g. ``1.5`` on noisy shared runners).
+(e.g. ``1.5`` on noisy shared runners); ``ECNUDP_BENCH_STALE_TOLERANCE``
+overrides the improvement factor that trips the staleness check
+(default ``0.70`` = 30 % faster).
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from pathlib import Path
 
 DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "BENCH_baseline.json"
 DEFAULT_TOLERANCE = 1.20
+DEFAULT_STALE_TOLERANCE = 0.70
 CALIBRATION_ROUNDS = 5
 
 
@@ -87,6 +97,7 @@ def check(
     calibration: float,
     baseline: dict,
     tolerance: float,
+    stale_tolerance: float = DEFAULT_STALE_TOLERANCE,
 ) -> list[str]:
     """Return a list of failure messages (empty = gate passes)."""
     failures = []
@@ -99,7 +110,12 @@ def check(
         base_units = float(base_seconds) / base_cal
         now_units = current[name] / calibration
         ratio = now_units / base_units if base_units > 0 else float("inf")
-        verdict = "ok" if ratio <= tolerance else "REGRESSION"
+        if ratio > tolerance:
+            verdict = "REGRESSION"
+        elif ratio < stale_tolerance:
+            verdict = "STALE BASELINE"
+        else:
+            verdict = "ok"
         print(
             f"{name}: baseline {base_units:8.1f} units, "
             f"current {now_units:8.1f} units "
@@ -109,6 +125,13 @@ def check(
             failures.append(
                 f"{name} slowed down x{ratio:.2f} "
                 f"(budget x{tolerance:.2f})"
+            )
+        elif ratio < stale_tolerance:
+            failures.append(
+                f"{name} sped up x{1 / ratio:.2f} but the baseline was not "
+                f"ratcheted — rerun with --update and commit "
+                f"BENCH_baseline.json so future regressions can't hide "
+                f"in the headroom"
             )
     for name in sorted(set(current) - set(base_marks)):
         print(f"{name}: not in baseline (informational only)")
@@ -148,6 +171,17 @@ def main(argv: list[str] | None = None) -> int:
         help="max allowed slowdown factor (default 1.20 = +20%%)",
     )
     parser.add_argument(
+        "--stale-tolerance",
+        type=float,
+        default=float(
+            os.environ.get("ECNUDP_BENCH_STALE_TOLERANCE", DEFAULT_STALE_TOLERANCE)
+        ),
+        help=(
+            "fail when a benchmark runs below this fraction of baseline "
+            "without a ratchet (default 0.70 = 30%% faster)"
+        ),
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="rewrite the baseline from the current run instead of gating",
@@ -169,7 +203,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"baseline {baseline_path} missing; run with --update", file=sys.stderr)
         return 2
     failures = check(
-        current, calibration, json.loads(baseline_path.read_text()), args.tolerance
+        current,
+        calibration,
+        json.loads(baseline_path.read_text()),
+        args.tolerance,
+        args.stale_tolerance,
     )
     if failures:
         for failure in failures:

@@ -81,6 +81,16 @@ class BufferedLink(Link):
         metrics=None,
         tracer=None,
     ) -> LinkOutcome:
+        delivered, delay, reason = self._transit(packet, rng, metrics, tracer)
+        return LinkOutcome(delivered, packet, delay, reason)
+
+    def _transit(
+        self,
+        packet: IPv4Packet,
+        rng: random.Random,
+        metrics,
+        tracer,
+    ) -> tuple[bool, float, str]:
         if self._clock is None:
             raise SimulationError(
                 f"BufferedLink {self.src}->{self.dst} has no clock bound"
@@ -100,11 +110,11 @@ class BufferedLink(Link):
                 self.red_drops += 1
                 if traced:
                     tracer.record(packet, hop, "aqm-drop", packet.ecn, packet.ecn)
-                return LinkOutcome(False, packet, self.delay, reason="aqm-drop")
+                return False, self.delay, "aqm-drop"
             if decision == AQMDecision.MARK:
                 self.ce_marks += 1
                 before = packet.ecn
-                packet = packet.with_ecn(ECN.CE)
+                packet.set_ecn(ECN.CE)
                 if traced:
                     tracer.record(packet, hop, "aqm-mark", before, packet.ecn)
 
@@ -114,23 +124,21 @@ class BufferedLink(Link):
                 metrics.incr("queue.tail_drop")
             if traced:
                 tracer.record(packet, hop, "tail-drop", packet.ecn, packet.ecn)
-            return LinkOutcome(False, packet, self.delay, reason="aqm-drop")
+            return False, self.delay, "aqm-drop"
 
         if self.loss.sample_loss(rng):
             if metrics:
                 metrics.incr("link.loss")
             if traced:
                 tracer.record(packet, hop, "loss", packet.ecn, packet.ecn)
-            return LinkOutcome(False, packet, self.delay, reason="loss")
+            return False, self.delay, "loss"
 
         depart = max(now, self._next_free) + service
         self._next_free = depart
         self.delivered += 1
         queueing_and_service = depart - now
         jitter = rng.random() * self.jitter if self.jitter > 0 else 0.0
-        return LinkOutcome(
-            True, packet, queueing_and_service + self.delay + jitter
-        )
+        return True, queueing_and_service + self.delay + jitter, ""
 
 
 def buffered_pair(

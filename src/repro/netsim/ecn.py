@@ -23,12 +23,12 @@ class ECN(enum.IntEnum):
     @property
     def is_ect(self) -> bool:
         """True for ECT(0) and ECT(1): the sender declared ECN capability."""
-        return self in (ECN.ECT_0, ECN.ECT_1)
+        return 0 < self._value_ < 3
 
     @property
     def is_ce(self) -> bool:
         """True if a router has marked the packet Congestion Experienced."""
-        return self is ECN.CE
+        return self._value_ == 3
 
     def describe(self) -> str:
         """Human-readable name used in reports (matches paper terminology)."""
@@ -47,10 +47,19 @@ ECN_MASK = 0b0000_0011
 #: Mask selecting the DSCP bits within the TOS byte.
 DSCP_MASK = 0b1111_1100
 
+#: ECN members indexed by codepoint — ``ECN_BY_CODE[tos & ECN_MASK]``
+#: skips the ``EnumMeta.__call__`` value lookup on the packet hot path.
+ECN_BY_CODE = (ECN.NOT_ECT, ECN.ECT_1, ECN.ECT_0, ECN.CE)
+
+#: ECT-capability indexed by codepoint — ``ECT_CAPABLE[tos & ECN_MASK]``
+#: is the branch AQMs take per packet; a tuple index beats two enum
+#: identity checks.
+ECT_CAPABLE = (False, True, True, False)
+
 
 def ecn_from_tos(tos: int) -> ECN:
     """Extract the ECN codepoint from a TOS byte."""
-    return ECN(tos & ECN_MASK)
+    return ECN_BY_CODE[tos & ECN_MASK]
 
 
 def dscp_from_tos(tos: int) -> int:

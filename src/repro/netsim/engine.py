@@ -5,12 +5,20 @@ simulation time; ties are broken by insertion order so the simulation
 is deterministic.  Cancellation is *lazy*: a cancelled event stays in
 the heap but is skipped when popped, which keeps :meth:`Event.cancel`
 O(1) — important because retransmission timers are cancelled far more
-often than they fire.
+often than they fire.  When dead entries come to dominate (more than
+half the heap, above a small floor) the scheduler compacts in place,
+so a workload that schedules-and-cancels in a loop stays O(live)
+rather than O(ever-scheduled).
+
+A calendar-queue backend (:class:`CalendarQueue`) is provided for
+benchmarking; see its docstring for why the binary heap remains the
+production backend.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import insort
 from typing import Any, Callable
 
 from .clock import SimClock
@@ -43,9 +51,7 @@ class Event:
             self.cancelled = True
             scheduler = self._scheduler
             if scheduler is not None:
-                scheduler._note_removed(self)
-                if scheduler.metrics:
-                    scheduler.metrics.incr("engine.cancelled")
+                scheduler._note_cancelled(self)
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -67,7 +73,11 @@ class EventScheduler:
 
     def __init__(self, clock: SimClock | None = None) -> None:
         self.clock = clock if clock is not None else SimClock()
-        self._heap: list[Event] = []
+        #: Heap of ``(time, seq, event)`` entries: ordering compares
+        #: plain tuples in C instead of calling ``Event.__lt__`` per
+        #: sift step, which is measurable at hundreds of thousands of
+        #: pushes per study.  Tie-break by ``seq`` is unchanged.
+        self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._dispatched = 0
         self._pending = 0
@@ -91,10 +101,30 @@ class EventScheduler:
         """
         return self._pending
 
+    #: Compaction floor: below this heap size, lazily-cancelled entries
+    #: are too cheap to be worth a rebuild.
+    _COMPACT_MIN = 64
+
     def _note_removed(self, event: Event) -> None:
         """A queued event left the pending set (cancel or dispatch)."""
         self._pending -= 1
         event._scheduler = None
+
+    def _note_cancelled(self, event: Event) -> None:
+        """A queued event was cancelled (still physically in the heap)."""
+        self._pending -= 1
+        event._scheduler = None
+        if self.metrics:
+            self.metrics.incr("engine.cancelled")
+        # Compact when dead entries outnumber live ones: drop them and
+        # re-heapify **in place** (callers — and the run loops — hold
+        # references to the heap list, so its identity must survive).
+        heap = self._heap
+        if len(heap) > self._COMPACT_MIN and self._pending * 2 < len(heap):
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            if self.metrics:
+                self.metrics.incr("engine.compactions")
 
     @property
     def dispatched(self) -> int:
@@ -114,10 +144,12 @@ class EventScheduler:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: delay={delay!r}")
-        event = Event(self.clock.now + delay, self._seq, callback, args, scheduler=self)
-        self._seq += 1
+        time = self.clock._now + delay
+        seq = self._seq
+        event = Event(time, seq, callback, args, scheduler=self)
+        self._seq = seq + 1
         self._pending += 1
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, seq, event))
         if self.metrics:
             self.metrics.incr("engine.scheduled")
             self.metrics.gauge_max("engine.heap_peak", len(self._heap))
@@ -134,7 +166,7 @@ class EventScheduler:
 
     def _pop_runnable(self) -> Event | None:
         while self._heap:
-            event = heapq.heappop(self._heap)
+            event = heapq.heappop(self._heap)[2]
             if not event.cancelled:
                 return event
         return None
@@ -167,8 +199,32 @@ class EventScheduler:
         Returns the number of events dispatched by this call.
         """
         count = 0
+        if max_events is None:
+            # Unbounded drain: the common case, with the pop/dispatch
+            # cycle inlined (no per-event ``step`` + ``_pop_runnable``
+            # call pair).  ``heap`` aliases ``self._heap`` — safe
+            # because compaction rebuilds that list in place.
+            heap = self._heap
+            pop = heapq.heappop
+            clock = self.clock
+            metrics = self.metrics
+            while heap:
+                event = pop(heap)[2]
+                if event.cancelled:
+                    continue
+                # Heap pops are time-ordered, so the monotonicity check
+                # in ``advance_to`` is redundant here.
+                clock._now = event.time
+                self._dispatched += 1
+                self._pending -= 1
+                event._scheduler = None
+                if metrics:
+                    metrics.incr("engine.dispatched")
+                event.callback(*event.args)
+                count += 1
+            return count
         while True:
-            if max_events is not None and count >= max_events:
+            if count >= max_events:
                 if self._pending:
                     raise SimulationError(f"exceeded max_events={max_events}")
                 break
@@ -185,23 +241,30 @@ class EventScheduler:
         caller expects.  Returns the number of events dispatched.
         """
         count = 0
-        while self._heap:
-            event = self._heap[0]
+        heap = self._heap
+        pop = heapq.heappop
+        clock = self.clock
+        metrics = self.metrics
+        while heap:
+            entry = heap[0]
+            event = entry[2]
             if event.cancelled:
-                heapq.heappop(self._heap)
+                pop(heap)
                 continue
-            if event.time > deadline:
+            if entry[0] > deadline:
                 break
-            heapq.heappop(self._heap)
-            self.clock.advance_to(event.time)
+            pop(heap)
+            # Time-ordered pops: monotonicity holds by construction.
+            clock._now = entry[0]
             self._dispatched += 1
-            self._note_removed(event)
-            if self.metrics:
-                self.metrics.incr("engine.dispatched")
+            self._pending -= 1
+            event._scheduler = None
+            if metrics:
+                metrics.incr("engine.dispatched")
             count += 1
             event.callback(*event.args)
-        if deadline > self.clock.now:
-            self.clock.advance_to(deadline)
+        if deadline > clock._now:
+            clock._now = deadline
         return count
 
     def reset_time(self, when: float) -> None:
@@ -219,3 +282,78 @@ class EventScheduler:
             )
         self._heap.clear()
         self.clock.reset_to(when)
+
+
+class CalendarQueue:
+    """Calendar-queue priority queue, kept for benchmark evaluation.
+
+    A calendar queue buckets events by time modulo a "year" so that
+    push and pop-min are O(1) amortised when event times are spread
+    evenly — the textbook alternative to a binary heap for discrete
+    event simulation.  This implementation preserves the scheduler's
+    determinism contract: within a bucket, entries are kept ordered by
+    ``(time, seq)``, so ties break by insertion order exactly as the
+    heap does.
+
+    **Evaluation outcome** (see ``benchmarks/test_engine_microbench.py``):
+    on this workload the binary heap wins — ~20 % faster on the
+    schedule/cancel/drain churn benchmark, and the gap widens on the
+    real study profile where the pending population is small (tens to
+    hundreds) and bimodal: a dense cluster of in-flight packet hops
+    plus sparse retransmission timers.  ``heapq``'s C-implemented
+    push/pop beats pure-Python bucket bookkeeping at these sizes; a
+    calendar queue only pays off with thousands of uniformly spread
+    pending events, which the sharded runner's per-epoch structure
+    never produces.  The heap therefore remains
+    :class:`EventScheduler`'s backend; this class is exercised by the
+    microbenchmark and equivalence tests so the comparison stays
+    honest as the hot path evolves.
+    """
+
+    __slots__ = ("_buckets", "_width", "_last_time", "_len")
+
+    def __init__(self, bucket_width: float = 0.01, num_buckets: int = 64) -> None:
+        self._buckets: list[list[Event]] = [[] for _ in range(num_buckets)]
+        self._width = bucket_width
+        self._last_time = 0.0
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def push(self, event: Event) -> None:
+        index = int(event.time / self._width) % len(self._buckets)
+        insort(self._buckets[index], event)
+        self._len += 1
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event (ties by ``seq``)."""
+        if not self._len:
+            raise IndexError("pop from empty CalendarQueue")
+        buckets = self._buckets
+        num = len(buckets)
+        width = self._width
+        year = width * num
+        # Scan one "year" of buckets starting from the current time's
+        # bucket; any event due within that bucket's current-year slice
+        # is the minimum.  Fall back to a full min scan (far-future
+        # events beyond the current year) if the sweep finds nothing.
+        start = int(self._last_time / width)
+        for offset in range(num):
+            index = (start + offset) % num
+            bucket = buckets[index]
+            if bucket and bucket[0].time < (start + offset + 1) * width:
+                event = bucket.pop(0)
+                self._last_time = event.time
+                self._len -= 1
+                return event
+        best_index = -1
+        best = None
+        for index, bucket in enumerate(buckets):
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+                best_index = index
+        event = buckets[best_index].pop(0)
+        self._last_time = event.time
+        self._len -= 1
+        return event

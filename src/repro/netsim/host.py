@@ -22,6 +22,19 @@ from .sockets import EPHEMERAL_BASE, EPHEMERAL_LIMIT, UDPHandler, UDPSocket
 from .udp import UDPDatagram
 from ..obs.metrics import proto_name
 
+#: Pre-built counter names for the protocols every study sends
+#: constantly; the f-string + proto_name fallback handles the rest.
+_TX_COUNTERS = {
+    PROTO_UDP: "host.tx.udp",
+    PROTO_TCP: "host.tx.tcp",
+    PROTO_ICMP: "host.tx.icmp",
+}
+_RX_COUNTERS = {
+    PROTO_UDP: "host.rx.udp",
+    PROTO_TCP: "host.rx.tcp",
+    PROTO_ICMP: "host.rx.icmp",
+}
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .network import Network
 
@@ -126,17 +139,25 @@ class Host:
         any home-gateway middleboxes), then outbound filters may drop
         or rewrite it before it reaches the access link.
         """
-        if self.network is None:
+        network = self.network
+        if network is None:
             raise SocketError(f"host {self.hostname!r} is not attached to a network")
-        metrics = self.network.metrics
-        tracer = self.network.tracer
-        now = self.network.scheduler.now
-        if metrics:
-            metrics.incr(f"host.tx.{proto_name(packet.protocol)}")
-        if tracer and tracer.wants(packet):
-            tracer.record(packet, self.hostname, "tx", packet.ecn, packet.ecn, time=now)
-        for tap in self._taps:
-            tap("out", packet, now)
+        metrics = network.metrics
+        tracer = network.tracer
+        taps = self._taps
+        if metrics or tracer or taps:
+            # Only observers need the clock; the bare forwarding path
+            # (most hosts, observability off) skips the property chain.
+            now = network.scheduler.now
+            if metrics:
+                name = _TX_COUNTERS.get(packet.protocol)
+                metrics.incr(name or f"host.tx.{proto_name(packet.protocol)}")
+            if tracer and tracer.wants(packet):
+                tracer.record(
+                    packet, self.hostname, "tx", packet.ecn, packet.ecn, time=now
+                )
+            for tap in taps:
+                tap("out", packet, now)
         for box in self.outbound_filters:
             verdict = box.process(packet, self._rng)
             if verdict.dropped:
@@ -146,7 +167,7 @@ class Host:
             if verdict.reason and metrics:
                 metrics.incr(f"middlebox.{box.name}")
             packet = verdict.packet
-        self.network.send(packet, self)
+        network.send(packet, self)
 
     def udp_bind(self, port: int | None, handler: UDPHandler | None = None) -> UDPSocket:
         """Bind a UDP socket.
@@ -201,8 +222,12 @@ class Host:
 
     def deliver(self, packet: IPv4Packet, now: float) -> None:
         """Entry point for packets arriving from the network."""
-        metrics = self.network.metrics if self.network is not None else None
-        tracer = self.network.tracer if self.network is not None else None
+        network = self.network
+        if network is not None:
+            metrics = network.metrics
+            tracer = network.tracer
+        else:  # pragma: no cover - detached host in unit tests
+            metrics = tracer = None
         for box in self.inbound_filters:
             verdict = box.process(packet, self._rng)
             if verdict.dropped:
@@ -213,7 +238,8 @@ class Host:
                 metrics.incr(f"middlebox.{box.name}")
             packet = verdict.packet
         if metrics:
-            metrics.incr(f"host.rx.{proto_name(packet.protocol)}")
+            name = _RX_COUNTERS.get(packet.protocol)
+            metrics.incr(name or f"host.rx.{proto_name(packet.protocol)}")
         if tracer and tracer.wants(packet):
             tracer.record(packet, self.hostname, "rx", packet.ecn, packet.ecn, time=now)
         for tap in self._taps:

@@ -11,10 +11,10 @@ sent — the core technique of the paper's Section 4.2.
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from .checksum import internet_checksum
-from .ecn import ECN, ecn_from_tos, replace_ecn
+from .ecn import DSCP_MASK, ECN, ECN_BY_CODE
 from .errors import AddressError, CodecError
 
 #: IP protocol numbers used in this project.
@@ -73,7 +73,13 @@ class Prefix:
             net_text, len_text = text.split("/")
         except ValueError as exc:
             raise AddressError(f"not a prefix: {text!r}") from exc
-        return cls(parse_addr(net_text), int(len_text))
+        try:
+            length = int(len_text)
+        except ValueError as exc:
+            raise AddressError(
+                f"bad prefix length {len_text!r} in {text!r}"
+            ) from exc
+        return cls(parse_addr(net_text), length)
 
     @property
     def mask(self) -> int:
@@ -101,34 +107,112 @@ class Prefix:
         return f"{format_addr(self.network)}/{self.length}"
 
 
-@dataclass
 class IPv4Packet:
-    """A parsed IPv4 datagram.
+    """A parsed IPv4 datagram, packed for the simulator's hot path.
 
     The simulator moves these objects between nodes; the byte form is
     produced on demand (capture, ICMP quotation) via :meth:`encode`.
     ``ident`` mirrors the IP identification field, which the probing
     code uses to correlate ICMP quotations with the probes that
     elicited them.
+
+    Ownership contract: callers hand a packet to the network, which
+    takes one :meth:`copy` at the boundary and thereafter mutates that
+    simulator-owned copy **in place** (:attr:`ttl` decrements,
+    :meth:`set_ecn` CE marks) instead of allocating a fresh object per
+    hop.  Host-side filters and caller-visible rewrites keep
+    copy-on-write semantics via :meth:`replace` / :meth:`with_ecn`.
+
+    The header checksum never requires serialising the header:
+    :meth:`encode` folds the nine 16-bit header words arithmetically
+    from the fields, which is the closed form of RFC 1624's incremental
+    update — a TTL decrement or TOS rewrite changes one word, and the
+    checksum cost stays O(1) regardless of how many mutations occurred.
     """
 
-    src: int
-    dst: int
-    protocol: int
-    payload: bytes = b""
-    ttl: int = DEFAULT_TTL
-    tos: int = 0
-    ident: int = 0
-    dont_fragment: bool = True
+    __slots__ = (
+        "src",
+        "dst",
+        "protocol",
+        "payload",
+        "ttl",
+        "tos",
+        "ident",
+        "dont_fragment",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        protocol: int,
+        payload: bytes = b"",
+        ttl: int = DEFAULT_TTL,
+        tos: int = 0,
+        ident: int = 0,
+        dont_fragment: bool = True,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.protocol = protocol
+        self.payload = payload
+        self.ttl = ttl
+        self.tos = tos
+        self.ident = ident
+        self.dont_fragment = dont_fragment
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not IPv4Packet:
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.dst == other.dst
+            and self.protocol == other.protocol
+            and self.payload == other.payload
+            and self.ttl == other.ttl
+            and self.tos == other.tos
+            and self.ident == other.ident
+            and self.dont_fragment == other.dont_fragment
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable, like the old dataclass
+
+    def copy(self) -> "IPv4Packet":
+        """Fast field-for-field copy (the network-boundary clone)."""
+        new = IPv4Packet.__new__(IPv4Packet)
+        new.src = self.src
+        new.dst = self.dst
+        new.protocol = self.protocol
+        new.payload = self.payload
+        new.ttl = self.ttl
+        new.tos = self.tos
+        new.ident = self.ident
+        new.dont_fragment = self.dont_fragment
+        return new
+
+    def replace(self, **changes: object) -> "IPv4Packet":
+        """Return a copy with ``changes`` applied (dataclasses.replace shape)."""
+        new = self.copy()
+        for name, value in changes.items():
+            if name not in IPv4Packet.__slots__:
+                raise TypeError(f"IPv4Packet has no field {name!r}")
+            setattr(new, name, value)
+        return new
 
     @property
     def ecn(self) -> ECN:
         """ECN codepoint carried in the TOS byte."""
-        return ecn_from_tos(self.tos)
+        return ECN_BY_CODE[self.tos & 3]
 
     def with_ecn(self, ecn: ECN) -> "IPv4Packet":
         """Return a copy with the ECN field rewritten (DSCP preserved)."""
-        return replace(self, tos=replace_ecn(self.tos, ecn))
+        new = self.copy()
+        new.tos = (new.tos & DSCP_MASK) | ecn
+        return new
+
+    def set_ecn(self, ecn: ECN) -> None:
+        """Rewrite the ECN field in place (simulator-owned packets only)."""
+        self.tos = (self.tos & DSCP_MASK) | ecn
 
     @property
     def total_length(self) -> int:
@@ -137,26 +221,49 @@ class IPv4Packet:
 
     def encode(self) -> bytes:
         """Serialise to wire format with a correct header checksum."""
-        if not 0 <= self.ttl <= 255:
-            raise CodecError(f"TTL out of range: {self.ttl}")
-        if not 0 <= self.ident <= 0xFFFF:
-            raise CodecError(f"IP ident out of range: {self.ident}")
+        ttl = self.ttl
+        if not 0 <= ttl <= 255:
+            raise CodecError(f"TTL out of range: {ttl}")
+        ident = self.ident
+        if not 0 <= ident <= 0xFFFF:
+            raise CodecError(f"IP ident out of range: {ident}")
+        tos = self.tos
+        src = self.src
+        dst = self.dst
+        total_length = HEADER_LEN + len(self.payload)
         flags_frag = 0x4000 if self.dont_fragment else 0
-        header = _HEADER.pack(
-            (4 << 4) | (HEADER_LEN // 4),
-            self.tos,
-            self.total_length,
-            self.ident,
-            flags_frag,
-            self.ttl,
-            self.protocol,
-            0,
-            self.src,
-            self.dst,
+        # One's-complement sum of the nine non-checksum header words,
+        # computed straight from the fields (see class docstring).  Nine
+        # words sum below 0x90000, so two folds absorb every carry.
+        total = (
+            0x4500
+            + tos
+            + total_length
+            + ident
+            + flags_frag
+            + ((ttl << 8) | self.protocol)
+            + (src >> 16)
+            + (src & 0xFFFF)
+            + (dst >> 16)
+            + (dst & 0xFFFF)
         )
-        csum = internet_checksum(header)
-        header = header[:10] + struct.pack("!H", csum) + header[12:]
-        return header + self.payload
+        total = (total & 0xFFFF) + (total >> 16)
+        total = (total & 0xFFFF) + (total >> 16)
+        return (
+            _HEADER.pack(
+                0x45,
+                tos,
+                total_length,
+                ident,
+                flags_frag,
+                ttl,
+                self.protocol,
+                ~total & 0xFFFF,
+                src,
+                dst,
+            )
+            + self.payload
+        )
 
     @classmethod
     def decode(cls, data: bytes, verify: bool = True) -> "IPv4Packet":

@@ -13,9 +13,17 @@ import copy
 import random
 from dataclasses import dataclass, field
 
-from .ecn import ECN
+from .ecn import DSCP_MASK, ECN, ECT_CAPABLE
 from .ipv4 import IPv4Packet
-from .queues import AQMDecision, AQMModel, LossModel, NoCongestion, NoLoss
+from .queues import (
+    AQMDecision,
+    AQMModel,
+    BernoulliLoss,
+    LossModel,
+    NoCongestion,
+    NoLoss,
+    StaticCongestion,
+)
 
 
 @dataclass
@@ -60,48 +68,126 @@ class Link:
         Order of operations matches a real egress interface: the AQM
         inspects the packet as it is enqueued (possibly dropping or
         CE-marking it), then the wire may lose it.  A CE mark rewrites
-        only the ECN bits, preserving DSCP (RFC 3168).
+        only the ECN bits, preserving DSCP (RFC 3168) — **in place**:
+        link transit operates on simulator-owned packets (see
+        :class:`~repro.netsim.ipv4.IPv4Packet`), so ``outcome.packet``
+        is the same object that was passed in.
 
         ``metrics`` / ``tracer`` are the :mod:`repro.obs` hooks; falsey
         when disabled (one predicate each), and never sampling ``rng``.
         """
-        sample_delay = self.delay
-        if self.jitter > 0:
-            sample_delay += rng.random() * self.jitter
+        delivered, delay, reason = self._transit(packet, rng, metrics, tracer)
+        return LinkOutcome(delivered, packet, delay, reason)
 
-        traced = tracer and tracer.wants(packet)
-        hop = f"{self.src}->{self.dst}" if traced else ""
+    def _transit(
+        self,
+        packet: IPv4Packet,
+        rng: random.Random,
+        metrics,
+        tracer,
+    ) -> tuple[bool, float, str]:
+        """Allocation-free transit core: ``(delivered, delay, reason)``.
+
+        The dominant links in a study are clean (no fault, uncongested
+        queue, no or Bernoulli loss), so those samplers are inlined —
+        drawing from ``rng`` in exactly the order and count the model
+        objects themselves would — and the per-hop cost is a handful of
+        attribute reads instead of three method calls plus a
+        :class:`LinkOutcome`.
+        """
+        delay = self.delay
+        jitter = self.jitter
+        if jitter > 0:
+            delay += rng.random() * jitter
+        if tracer:
+            return self._transit_traced(packet, rng, metrics, tracer, delay)
         fault = self.fault
         if fault is not None and fault.active():
             # A flapping physical layer loses (or delays) the packet
             # before any queueing discipline sees it.
-            sample_delay += fault.extra_delay
+            delay += fault.extra_delay
+            if fault.sample_loss(rng):
+                if metrics:
+                    metrics.incr("faults.link_flap_drop")
+                return False, delay, "fault-flap"
+        aqm = self.aqm
+        aqm_cls = aqm.__class__
+        if aqm_cls is NoCongestion:
+            if metrics:
+                metrics.incr("queue.pass")
+        else:
+            if aqm_cls is StaticCongestion:
+                sp = aqm.signal_probability
+                if sp <= 0 or rng.random() >= sp:
+                    decision = AQMDecision.PASS
+                elif ECT_CAPABLE[packet.tos & 3] and aqm.ecn_capable_queue:
+                    decision = AQMDecision.MARK
+                else:
+                    decision = AQMDecision.DROP
+            else:
+                decision = aqm.sample(rng, ECT_CAPABLE[packet.tos & 3])
+            if metrics:
+                metrics.incr("queue." + decision)
+            if decision == AQMDecision.DROP:
+                return False, delay, "aqm-drop"
+            if decision == AQMDecision.MARK:
+                packet.tos = (packet.tos & DSCP_MASK) | 3
+        loss = self.loss
+        loss_cls = loss.__class__
+        if loss_cls is NoLoss:
+            return True, delay, ""
+        if loss_cls is BernoulliLoss:
+            p = loss.probability
+            if p > 0 and rng.random() < p:
+                if metrics:
+                    metrics.incr("link.loss")
+                return False, delay, "loss"
+            return True, delay, ""
+        if loss.sample_loss(rng):
+            if metrics:
+                metrics.incr("link.loss")
+            return False, delay, "loss"
+        return True, delay, ""
+
+    def _transit_traced(
+        self,
+        packet: IPv4Packet,
+        rng: random.Random,
+        metrics,
+        tracer,
+        delay: float,
+    ) -> tuple[bool, float, str]:
+        """Transit with a live packet tracer (jitter already sampled)."""
+        traced = tracer.wants(packet)
+        hop = f"{self.src}->{self.dst}" if traced else ""
+        fault = self.fault
+        if fault is not None and fault.active():
+            delay += fault.extra_delay
             if fault.sample_loss(rng):
                 if metrics:
                     metrics.incr("faults.link_flap_drop")
                 if traced:
                     tracer.record(packet, hop, "fault-flap", packet.ecn, packet.ecn)
-                return LinkOutcome(False, packet, sample_delay, reason="fault-flap")
-        decision = self.aqm.sample(rng, packet.ecn.is_ect)
+                return False, delay, "fault-flap"
+        decision = self.aqm.sample(rng, ECT_CAPABLE[packet.tos & 3])
         if metrics:
-            metrics.incr(f"queue.{decision}")
+            metrics.incr("queue." + decision)
         if decision == AQMDecision.DROP:
             if traced:
                 tracer.record(packet, hop, "aqm-drop", packet.ecn, packet.ecn)
-            return LinkOutcome(False, packet, sample_delay, reason="aqm-drop")
+            return False, delay, "aqm-drop"
         if decision == AQMDecision.MARK:
             before = packet.ecn
-            packet = packet.with_ecn(ECN.CE)
+            packet.set_ecn(ECN.CE)
             if traced:
                 tracer.record(packet, hop, "aqm-mark", before, packet.ecn)
-
         if self.loss.sample_loss(rng):
             if metrics:
                 metrics.incr("link.loss")
             if traced:
                 tracer.record(packet, hop, "loss", packet.ecn, packet.ecn)
-            return LinkOutcome(False, packet, sample_delay, reason="loss")
-        return LinkOutcome(True, packet, sample_delay)
+            return False, delay, "loss"
+        return True, delay, ""
 
     def __repr__(self) -> str:
         return f"Link({self.src} -> {self.dst}, delay={self.delay * 1000:.1f}ms)"

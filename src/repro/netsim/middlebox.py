@@ -26,7 +26,6 @@ or vantage points, matching the paper's per-path observations.
 
 from __future__ import annotations
 
-import dataclasses
 import random
 from dataclasses import dataclass
 from typing import Iterable
@@ -156,7 +155,7 @@ class TOSBleacher(Middlebox):
     def apply(self, packet: IPv4Packet) -> Verdict:
         if packet.tos == 0:
             return Verdict(FORWARD, packet)
-        cleaned = dataclasses.replace(packet, tos=0)
+        cleaned = packet.replace(tos=0)
         return Verdict(FORWARD, cleaned, reason="TOS byte zeroed")
 
 

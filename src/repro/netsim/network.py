@@ -22,19 +22,24 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-from .ecn import ECN
-from .engine import EventScheduler
+from heapq import heappush
+
+from .ecn import ECN, ECT_CAPABLE
+from .engine import Event, EventScheduler
 from .errors import NetSimError, RoutingError
 from .host import Host
 from .ipv4 import IPv4Packet, PROTO_ICMP
 from .link import Link
-from .queues import AQMDecision
-from .router import HOP_DROP, HOP_TTL_EXPIRED, Router
+from .queues import AQMDecision, BernoulliLoss, NoCongestion, NoLoss
+from .router import TRANSIT_DROP, Router
 from .routing import RoutingTable
 from .topology import Topology
 
 FAST = "fast"
 EVENT = "event"
+
+#: Cache-miss sentinel (``None`` is a valid cached route result).
+_MISSING = object()
 
 
 @dataclass
@@ -85,6 +90,16 @@ class Network:
         if tracer is not None:
             tracer.clock = lambda: self.scheduler.now
         self._hop_cache: dict[tuple[str, str], tuple[tuple[Router, Link], ...]] = {}
+        #: Destination route table: ``(src_router, dst_addr)`` straight
+        #: to the hop sequence (or ``None`` for unroutable), skipping
+        #: the per-send prefix-trie walk and hop-cache lookup.  Shares
+        #: the hop cache's invalidation (topology change, blackhole set).
+        self._route_cache: dict[tuple[str, int], tuple | None] = {}
+        #: Reverse-path link sequences for ICMP returns, same lifecycle.
+        self._icmp_return_cache: dict[tuple[str, str], tuple[Link, ...] | None] = {}
+        #: Measurement epochs this network has begun (telemetry only;
+        #: see :meth:`begin_epoch`).
+        self.epoch_index: int = 0
         #: Routers currently blackholed by the fault layer; see
         #: :meth:`set_excluded_routers`.
         self.excluded_routers: frozenset[str] = frozenset()
@@ -130,15 +145,18 @@ class Network:
         """Drop cached routes/hops after a topology change."""
         self.routing.invalidate()
         self._hop_cache.clear()
+        self._route_cache.clear()
+        self._icmp_return_cache.clear()
 
     def set_excluded_routers(self, excluded: frozenset[str]) -> None:
         """Blackhole a set of routers: paths reroute around them.
 
         Models a control-plane event (router death + IGP reconvergence)
         rather than a per-packet impairment, so it is epoch-scoped by
-        the fault layer.  Both the routing table's path cache and this
-        network's derived hop cache are invalidated when the excluded
-        set changes; passing an empty set restores the built topology.
+        the fault layer.  The routing table's path cache and this
+        network's derived route tables are invalidated when the
+        excluded set changes; passing an empty set restores the built
+        topology.
         """
         excluded = frozenset(excluded)
         if excluded == self.excluded_routers:
@@ -146,29 +164,119 @@ class Network:
         self.excluded_routers = excluded
         self.routing.set_excluded(excluded)
         self._hop_cache.clear()
+        self._route_cache.clear()
+        self._icmp_return_cache.clear()
+
+    def begin_epoch(self) -> None:
+        """Mark a measurement-epoch boundary for route-table bookkeeping.
+
+        The per-epoch routing tables (:attr:`_route_cache` /
+        :attr:`_icmp_return_cache`) are epoch-stable by construction:
+        chaos blackholes arrive via :meth:`set_excluded_routers` at
+        exactly this boundary (the fault injector is epoch-scoped), and
+        that call clears the tables for precisely the epochs a new
+        excluded set covers.  Epochs that share an excluded set
+        therefore reuse fully warmed tables instead of rebuilding them
+        — strictly cheaper than a per-epoch rebuild, with the same
+        invalidation guarantee.  The counter feeds telemetry and tests.
+        """
+        self.epoch_index += 1
+
+    def _route_to(self, src_router: str, dst_addr: int):
+        """Fast-hop sequence from ``src_router`` to the host owning
+        ``dst_addr``, or ``None`` when unroutable (cached either way).
+
+        Entries are ``(router, link, l_clean, delay, jitter, p)``:
+        the link's static cleanliness (uncongested queue, trivially
+        sampled loss) and its sampling parameters are resolved once at
+        route-build time, so the per-packet loop reads tuple slots
+        instead of chasing ``link.aqm.__class__``-style attribute
+        chains.  Safe to precompute because AQM/loss *models* are fixed
+        at topology build; the only post-build mutation is
+        ``link.fault`` (the chaos layer), which the send loop reads
+        live.  Cache lifecycle matches :attr:`_hop_cache`.
+        """
+        key = (src_router, dst_addr)
+        cache = self._route_cache
+        hit = cache.get(key, _MISSING)
+        if hit is not _MISSING:
+            return hit
+        dst_router = self.topology.router_for_addr(dst_addr)
+        if dst_router is None:
+            hops = None
+        else:
+            try:
+                raw = self.hops_between(src_router, dst_router)
+            except RoutingError:
+                hops = None
+            else:
+                hops = tuple(self._fast_hop(router, link) for router, link in raw)
+        cache[key] = hops
+        return hops
+
+    @staticmethod
+    def _fast_hop(router: Router, link: Link | None):
+        """Precomputed per-hop descriptor for the fast-path send loop."""
+        if link is None:
+            return (router, None, False, 0.0, 0.0, 0.0)
+        loss = link.loss
+        loss_cls = loss.__class__
+        if loss_cls is NoLoss:
+            p = 0.0
+        elif loss_cls is BernoulliLoss:
+            p = loss.probability
+        else:
+            return (router, link, False, link.delay, link.jitter, 0.0)
+        clean = link.aqm.__class__ is NoCongestion
+        return (router, link, clean, link.delay, link.jitter, p)
 
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def send(self, packet: IPv4Packet, src_host: Host) -> None:
-        """Inject a packet from ``src_host`` into the network."""
-        self.counters.sent += 1
-        dst_router = self.topology.router_for_addr(packet.dst)
-        if dst_router is None:
-            self.counters.dropped_no_route += 1
-            self.counters.note("no-route")
+        """Inject a packet from ``src_host`` into the network.
+
+        The caller keeps ownership of ``packet``: the network clones it
+        once at this boundary and every downstream rewrite (TTL
+        decrement, CE mark, bleaching) happens on — or replaces — the
+        simulator-owned clone, never the caller's object.  That single
+        copy is what lets the per-hop machinery mutate in place.
+        """
+        counters = self.counters
+        counters.sent += 1
+        # Inline the route-table hit; misses take the full lookup.
+        hops = self._route_cache.get((src_host.router_id, packet.dst), _MISSING)
+        if hops is _MISSING:
+            hops = self._route_to(src_host.router_id, packet.dst)
+        if hops is None:
+            counters.dropped_no_route += 1
+            counters.note("no-route")
             return
-        try:
-            hops = self.hops_between(src_host.router_id, dst_router)
-        except RoutingError:
-            self.counters.dropped_no_route += 1
-            self.counters.note("no-route")
-            return
-        survived, packet, access_delay = self._cross_access(
-            src_host, packet, outbound=True
-        )
-        if not survived:
-            return
+        packet = packet.copy()
+        access = src_host.access
+        loss = access.loss
+        loss_cls = None if loss is None else loss.__class__
+        if access.upstream_aqm is None and (
+            loss is None or loss_cls is NoLoss or loss_cls is BernoulliLoss
+        ):
+            # Clean-ish access link (no upstream AQM, trivially sampled
+            # loss): inline the draw — order and count matching
+            # ``_cross_access`` exactly.
+            access_delay = access.delay
+            if loss_cls is BernoulliLoss:
+                p = loss.probability
+                if p > 0 and self.rng.random() < p:
+                    if self.metrics:
+                        self.metrics.incr("link.loss")
+                    counters.dropped_loss += 1
+                    counters.note("access-loss")
+                    return
+        else:
+            survived, packet, access_delay = self._cross_access(
+                src_host, packet, outbound=True
+            )
+            if not survived:
+                return
         if self.mode == FAST:
             self._send_fast(packet, src_host, hops, access_delay)
         else:
@@ -181,25 +289,44 @@ class Network:
     def _cross_access(
         self, host: Host, packet: IPv4Packet, outbound: bool
     ) -> tuple[bool, IPv4Packet, float]:
-        """Sample a host's access link; returns (survived, packet, delay)."""
+        """Sample a host's access link; returns (survived, packet, delay).
+
+        ``packet`` is simulator-owned by the time it crosses an access
+        link (cloned in :meth:`send`, or a delivered/ICMP reply
+        object), so the upstream CE mark rewrites it in place.
+        """
         access = host.access
         metrics = self.metrics
-        if access.upstream_aqm is not None and outbound:
-            decision = access.upstream_aqm.sample(self.rng, packet.ecn.is_ect)
+        if outbound and access.upstream_aqm is not None:
+            decision = access.upstream_aqm.sample(
+                self.rng, ECT_CAPABLE[packet.tos & 3]
+            )
             if metrics:
-                metrics.incr(f"queue.{decision}")
+                metrics.incr("queue." + decision)
             if decision == AQMDecision.DROP:
                 self.counters.dropped_aqm += 1
                 self.counters.note("access-aqm-drop")
                 return False, packet, access.delay
             if decision == AQMDecision.MARK:
-                packet = packet.with_ecn(ECN.CE)
-        if access.loss is not None and access.loss.sample_loss(self.rng):
-            if metrics:
-                metrics.incr("link.loss")
-            self.counters.dropped_loss += 1
-            self.counters.note("access-loss")
-            return False, packet, access.delay
+                packet.set_ecn(ECN.CE)
+        loss = access.loss
+        if loss is not None:
+            # Inline the dominant loss models (same rng draw count and
+            # order as their ``sample_loss``); others delegate.
+            loss_cls = loss.__class__
+            if loss_cls is NoLoss:
+                lost = False
+            elif loss_cls is BernoulliLoss:
+                p = loss.probability
+                lost = p > 0 and self.rng.random() < p
+            else:
+                lost = loss.sample_loss(self.rng)
+            if lost:
+                if metrics:
+                    metrics.incr("link.loss")
+                self.counters.dropped_loss += 1
+                self.counters.note("access-loss")
+                return False, packet, access.delay
         return True, packet, access.delay
 
     # ------------------------------------------------------------------
@@ -209,37 +336,68 @@ class Network:
         self,
         packet: IPv4Packet,
         src_host: Host,
-        hops: tuple[tuple[Router, Link], ...],
+        hops: tuple[tuple, ...],
         access_delay: float = 0.0,
     ) -> None:
         rng = self.rng
         metrics = self.metrics
         tracer = self.tracer
+        counters = self.counters
         elapsed = access_delay
-        for router, link in hops:
-            result = router.process_transit(packet, rng, metrics, tracer)
-            if result.verdict == HOP_DROP:
-                self.counters.dropped_middlebox += 1
-                self.counters.note(result.reason)
-                return
-            if result.verdict == HOP_TTL_EXPIRED:
-                self.counters.ttl_expired += 1
-                if result.icmp is not None:
-                    self._return_icmp(router, result.icmp, packet, src_host, elapsed)
-                return
-            packet = result.packet
+        for router, link, l_clean, delay, jitter, p in hops:
+            # Clean router hop (no middleboxes, no tracer, TTL fine):
+            # one in-place decrement, no call.  The rng draw order is
+            # untouched — this path never samples.
+            if packet.ttl > 1 and not router.middleboxes and not tracer:
+                packet.ttl -= 1
+                if metrics:
+                    metrics.incr("router.forwarded")
+            else:
+                verdict, packet, icmp, reason = router._transit(
+                    packet, rng, metrics, tracer
+                )
+                if verdict:  # anything but TRANSIT_FORWARD (0)
+                    if verdict == TRANSIT_DROP:
+                        counters.dropped_middlebox += 1
+                        counters.note(reason)
+                    else:
+                        counters.ttl_expired += 1
+                        if icmp is not None:
+                            self._return_icmp(
+                                router, icmp, packet, src_host, elapsed
+                            )
+                    return
             if link is None:
                 break
-            outcome = link.transit(packet, rng, metrics, tracer)
-            elapsed += outcome.delay
-            if not outcome.delivered:
-                if outcome.reason == "aqm-drop":
-                    self.counters.dropped_aqm += 1
-                else:
-                    self.counters.dropped_loss += 1
-                self.counters.note(outcome.reason)
-                return
-            packet = outcome.packet
+            # Clean link hop: uncongested queue, no active fault, no
+            # tracer, trivially-sampled loss.  Draw order matches
+            # ``Link._transit`` exactly: jitter first, then loss (and
+            # the fault check before the draws never samples rng).
+            fault = link.fault
+            if l_clean and not tracer and (fault is None or not fault.active()):
+                if jitter > 0.0:
+                    delay += rng.random() * jitter
+                if metrics:
+                    metrics.incr("queue.pass")
+                elapsed += delay
+                if p > 0.0 and rng.random() < p:
+                    if metrics:
+                        metrics.incr("link.loss")
+                    counters.dropped_loss += 1
+                    counters.note("loss")
+                    return
+            else:
+                delivered, delay, reason = link._transit(
+                    packet, rng, metrics, tracer
+                )
+                elapsed += delay
+                if not delivered:
+                    if reason == "aqm-drop":
+                        counters.dropped_aqm += 1
+                    else:
+                        counters.dropped_loss += 1
+                    counters.note(reason)
+                    return
         self._deliver_to_host(packet, elapsed)
 
     # ------------------------------------------------------------------
@@ -249,61 +407,122 @@ class Network:
         self,
         packet: IPv4Packet,
         src_host: Host,
-        hops: tuple[tuple[Router, Link], ...],
+        hops: tuple[tuple, ...],
         index: int,
         elapsed: float,
     ) -> None:
         rng = self.rng
-        router, link = hops[index]
-        result = router.process_transit(packet, rng, self.metrics, self.tracer)
-        if result.verdict == HOP_DROP:
-            self.counters.dropped_middlebox += 1
-            self.counters.note(result.reason)
+        counters = self.counters
+        entry = hops[index]
+        router, link = entry[0], entry[1]
+        verdict, packet, icmp, reason = router._transit(
+            packet, rng, self.metrics, self.tracer
+        )
+        if verdict:
+            if verdict == TRANSIT_DROP:
+                counters.dropped_middlebox += 1
+                counters.note(reason)
+            else:
+                counters.ttl_expired += 1
+                if icmp is not None:
+                    # The clock already advanced by the forward delay in
+                    # event mode; only the return path remains.
+                    self._return_icmp(router, icmp, packet, src_host, 0.0)
             return
-        if result.verdict == HOP_TTL_EXPIRED:
-            self.counters.ttl_expired += 1
-            if result.icmp is not None:
-                # The clock already advanced by the forward delay in
-                # event mode; only the return path remains.
-                self._return_icmp(router, result.icmp, packet, src_host, 0.0)
-            return
-        packet = result.packet
         if link is None:
             self._deliver_to_host(packet, 0.0)
             return
-        outcome = link.transit(packet, rng, self.metrics, self.tracer)
-        if not outcome.delivered:
-            if outcome.reason == "aqm-drop":
-                self.counters.dropped_aqm += 1
+        delivered, delay, reason = link._transit(packet, rng, self.metrics, self.tracer)
+        if not delivered:
+            if reason == "aqm-drop":
+                counters.dropped_aqm += 1
             else:
-                self.counters.dropped_loss += 1
-            self.counters.note(outcome.reason)
+                counters.dropped_loss += 1
+            counters.note(reason)
             return
         self.scheduler.schedule(
-            outcome.delay,
+            delay,
             self._send_event,
-            outcome.packet,
+            packet,
             src_host,
             hops,
             index + 1,
-            elapsed + outcome.delay,
+            elapsed + delay,
         )
 
     # ------------------------------------------------------------------
     # Delivery and ICMP return
     # ------------------------------------------------------------------
     def _deliver_to_host(self, packet: IPv4Packet, delay: float) -> None:
-        host = self.topology.host_by_addr(packet.dst)
+        host = self.topology.hosts.get(packet.dst)
         if host is None:
             self.counters.dropped_no_route += 1
             self.counters.note("no-host")
             return
-        survived, packet, access_delay = self._cross_access(host, packet, outbound=False)
-        if not survived:
-            return
-        delay += access_delay
+        access = host.access
+        loss = access.loss
+        loss_cls = None if loss is None else loss.__class__
+        if loss is None or loss_cls is NoLoss or loss_cls is BernoulliLoss:
+            # Inbound crossings only sample loss (AQM is upstream-only);
+            # inline the trivial models, draw order matching
+            # ``_cross_access`` exactly.
+            if loss_cls is BernoulliLoss:
+                p = loss.probability
+                if p > 0 and self.rng.random() < p:
+                    if self.metrics:
+                        self.metrics.incr("link.loss")
+                    self.counters.dropped_loss += 1
+                    self.counters.note("access-loss")
+                    return
+            delay += access.delay
+        else:
+            survived, packet, access_delay = self._cross_access(
+                host, packet, outbound=False
+            )
+            if not survived:
+                return
+            delay += access_delay
         self.counters.delivered += 1
-        self.scheduler.schedule(delay, host.deliver, packet, self.scheduler.now + delay)
+        # Inlined ``scheduler.schedule`` (this is the single hottest
+        # schedule site; ``delay`` is a sum of non-negative link
+        # delays, so the negative-delay guard is statically satisfied).
+        scheduler = self.scheduler
+        when = scheduler.clock._now + delay
+        seq = scheduler._seq
+        event = Event(when, seq, host.deliver, (packet, when), scheduler)
+        scheduler._seq = seq + 1
+        scheduler._pending += 1
+        heappush(scheduler._heap, (when, seq, event))
+        metrics = scheduler.metrics
+        if metrics:
+            metrics.incr("engine.scheduled")
+            metrics.gauge_max("engine.heap_peak", len(scheduler._heap))
+
+    def _icmp_return_links(
+        self, origin_router: str, dst_router: str
+    ) -> tuple[Link, ...] | None:
+        """Cached reverse-path link sequence for ICMP returns.
+
+        ``None`` (also cached) means no return route exists under the
+        current excluded-router set.
+        """
+        key = (origin_router, dst_router)
+        cache = self._icmp_return_cache
+        hit = cache.get(key, _MISSING)
+        if hit is not _MISSING:
+            return hit
+        links: tuple[Link, ...] | None
+        try:
+            nodes = self.routing.path(origin_router, dst_router)
+        except RoutingError:
+            links = None
+        else:
+            edges = self.topology.graph.edges
+            links = tuple(
+                edges[here, there]["link"] for here, there in zip(nodes, nodes[1:])
+            )
+        cache[key] = links
+        return links
 
     def _return_icmp(
         self,
@@ -327,16 +546,13 @@ class Network:
             protocol=PROTO_ICMP,
             payload=icmp.encode(),
         )
-        try:
-            nodes = self.routing.path(origin.router_id, src_host.router_id)
-        except RoutingError:
+        links = self._icmp_return_links(origin.router_id, src_host.router_id)
+        if links is None:
             self.counters.note("icmp-no-return-route")
             return
         rng = self.rng
-        graph = self.topology.graph
         elapsed = forward_elapsed
-        for here, there in zip(nodes, nodes[1:]):
-            link: Link = graph.edges[here, there]["link"]
+        for link in links:
             elapsed += link.delay + (rng.random() * link.jitter if link.jitter > 0 else 0.0)
             if link.loss.sample_loss(rng):
                 self.counters.note("icmp-return-loss")

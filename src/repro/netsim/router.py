@@ -10,7 +10,6 @@ DESIGN.md §2).
 
 from __future__ import annotations
 
-import dataclasses
 import random
 from dataclasses import dataclass, field
 
@@ -22,6 +21,14 @@ from .middlebox import Middlebox
 HOP_FORWARD = "forward"
 HOP_DROP = "drop"
 HOP_TTL_EXPIRED = "ttl-expired"
+
+#: Integer verdicts used by the allocation-free :meth:`Router._transit`
+#: core (the network's fast path); indexes into :data:`_VERDICT_NAMES`.
+TRANSIT_FORWARD = 0
+TRANSIT_DROP = 1
+TRANSIT_TTL_EXPIRED = 2
+
+_VERDICT_NAMES = (HOP_FORWARD, HOP_DROP, HOP_TTL_EXPIRED)
 
 
 @dataclass
@@ -93,12 +100,69 @@ class Router:
         so an upstream bleached mark is visible in the quote — exactly
         the observable the paper's Section 4.2 measures.
 
+        The packet handed in is treated as simulator-owned: the TTL
+        decrement mutates it in place (middlebox rewrites still return
+        fresh objects, so caller-held references never see a policy
+        rewrite they didn't apply).  ``result.packet`` is the packet to
+        keep using.
+
         ``metrics`` / ``tracer`` are the optional observability hooks
         (:mod:`repro.obs`); both are falsey when disabled, so the hop
         stays a pure function of (router state, packet, RNG) and pays
         one predicate per hook.  Instrumentation never draws from
         ``rng``.
         """
+        verdict, packet, icmp, reason = self._transit(packet, rng, metrics, tracer)
+        return HopResult(_VERDICT_NAMES[verdict], packet, icmp=icmp, reason=reason)
+
+    def _transit(
+        self,
+        packet: IPv4Packet,
+        rng: random.Random,
+        metrics,
+        tracer,
+    ):
+        """Allocation-free transit core: ``(verdict, packet, icmp, reason)``.
+
+        The network's per-hop loop calls this directly so the dominant
+        case — no middleboxes, TTL fine, observability off — costs one
+        in-place decrement and a tuple, not a :class:`HopResult` (and,
+        before this rewrite, a full ``dataclasses.replace`` copy).
+        """
+        if self.middleboxes or tracer:
+            return self._transit_slow(packet, rng, metrics, tracer)
+        if packet.ttl <= 1:
+            icmp = None
+            if self.sends_icmp_errors and (
+                self.icmp_response_rate >= 1.0
+                or rng.random() < self.icmp_response_rate
+            ):
+                # The quotation must show TTL 0 (the value on the wire
+                # when the counter expired).  Flip it just for the
+                # immediate encode inside time_exceeded, then restore,
+                # so observers of the live object see the arrival TTL.
+                saved_ttl = packet.ttl
+                packet.ttl = 0
+                icmp = time_exceeded(packet, self.icmp_quote_payload)
+                packet.ttl = saved_ttl
+            if metrics:
+                metrics.incr("router.ttl_expired")
+                if icmp is not None:
+                    metrics.incr("router.icmp_generated")
+            return TRANSIT_TTL_EXPIRED, packet, icmp, "ttl expired"
+        packet.ttl -= 1
+        if metrics:
+            metrics.incr("router.forwarded")
+        return TRANSIT_FORWARD, packet, None, ""
+
+    def _transit_slow(
+        self,
+        packet: IPv4Packet,
+        rng: random.Random,
+        metrics,
+        tracer,
+    ):
+        """Full transit path: middlebox chain and/or packet tracing."""
         traced = tracer and tracer.wants(packet)
         for box in self.middleboxes:
             before = packet.ecn
@@ -110,7 +174,12 @@ class Router:
                     tracer.record(
                         packet, self.router_id, f"drop:{box.name}", before, before
                     )
-                return HopResult(HOP_DROP, packet, reason=f"{box.name}: {verdict.reason}")
+                return (
+                    TRANSIT_DROP,
+                    packet,
+                    None,
+                    f"{box.name}: {verdict.reason}",
+                )
             if verdict.reason:
                 if metrics:
                     metrics.incr(f"middlebox.{box.name}")
@@ -130,8 +199,10 @@ class Router:
                 self.icmp_response_rate >= 1.0
                 or rng.random() < self.icmp_response_rate
             ):
-                expired = dataclasses.replace(packet, ttl=0)
-                icmp = time_exceeded(expired, self.icmp_quote_payload)
+                saved_ttl = packet.ttl
+                packet.ttl = 0
+                icmp = time_exceeded(packet, self.icmp_quote_payload)
+                packet.ttl = saved_ttl
             if metrics:
                 metrics.incr("router.ttl_expired")
                 if icmp is not None:
@@ -139,14 +210,14 @@ class Router:
             if traced:
                 action = "ttl-expired" if icmp is None else "ttl-expired+icmp"
                 tracer.record(packet, self.router_id, action, packet.ecn, packet.ecn)
-            return HopResult(HOP_TTL_EXPIRED, packet, icmp=icmp, reason="ttl expired")
+            return TRANSIT_TTL_EXPIRED, packet, icmp, "ttl expired"
 
-        packet = dataclasses.replace(packet, ttl=packet.ttl - 1)
+        packet.ttl -= 1
         if metrics:
             metrics.incr("router.forwarded")
         if traced:
             tracer.record(packet, self.router_id, "forward", packet.ecn, packet.ecn)
-        return HopResult(HOP_FORWARD, packet)
+        return TRANSIT_FORWARD, packet, None, ""
 
     def __repr__(self) -> str:
         return f"Router({self.router_id}, AS{self.asn})"

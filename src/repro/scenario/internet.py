@@ -711,6 +711,10 @@ class SyntheticInternet:
             # no randomness, so the epoch stays a pure function of
             # (params, index, plan).
             self.fault_injector.begin_epoch(index, (index + 1) * MEASUREMENT_EPOCH_SPAN)
+        # Last, after any blackhole changes above: roll the network's
+        # per-epoch routing tables (they persist when the excluded set
+        # didn't change — see Network.begin_epoch).
+        self.network.begin_epoch()
 
     def set_span_recorder(self, recorder) -> None:
         """Attach (or detach, with ``None``) a span recorder.

@@ -25,11 +25,11 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
-from ..netsim.ecn import ECN, tos_byte
+from ..netsim.ecn import ECN
 from ..netsim.engine import Event
 from ..netsim.errors import CodecError, SocketError
 from ..netsim.ipv4 import IPv4Packet, PROTO_TCP, format_addr
-from .segment import DEFAULT_MSS, Flags, TCPSegment
+from .segment import ACK, CWR, DEFAULT_MSS, ECE, FIN, PSH, RST, SYN, TCPSegment
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..netsim.host import Host
@@ -112,10 +112,10 @@ class TCPConnection:
 
         self.state = ConnState.CLOSED
         self.ecn_active = False
-        #: Flags observed on the peer's SYN/SYN-ACK (None until seen);
+        #: Flag bits observed on the peer's SYN/SYN-ACK (None until seen);
         #: the measurement application records this to decide whether
         #: an ECN-setup SYN-ACK came back.
-        self.peer_syn_flags: Flags | None = None
+        self.peer_syn_flags: int | None = None
         self.ecn_stats = ECNStats()
 
         self.snd_nxt = iss
@@ -129,7 +129,7 @@ class TCPConnection:
         self.force_ce_once = False
 
         #: Unacknowledged segments: list of (seq, payload, flags).
-        self._retx_queue: list[tuple[int, bytes, Flags]] = []
+        self._retx_queue: list[tuple[int, bytes, int]] = []
         self._retx_timer: Event | None = None
         self._retx_count = 0
         self._rto = rto_initial
@@ -164,9 +164,9 @@ class TCPConnection:
 
     def open_active(self) -> None:
         """Send the (possibly ECN-setup) SYN and enter SYN_SENT."""
-        flags = Flags.SYN
+        flags = SYN
         if self.use_ecn:
-            flags |= Flags.ECE | Flags.CWR
+            flags |= ECE | CWR
         self.state = ConnState.SYN_SENT
         self._send_and_track(flags, b"", syn_or_fin=True)
 
@@ -187,10 +187,10 @@ class TCPConnection:
         """Transmit queued data while the congestion window allows."""
         while self._send_queue and self.in_flight < int(self.cwnd):
             chunk = self._send_queue.pop(0)
-            self._send_and_track(Flags.ACK | Flags.PSH, chunk)
+            self._send_and_track(ACK | PSH, chunk)
         if self._fin_pending and not self._send_queue:
             self._fin_pending = False
-            self._send_and_track(Flags.FIN | Flags.ACK, b"", syn_or_fin=True)
+            self._send_and_track(FIN | ACK, b"", syn_or_fin=True)
 
     # ------------------------------------------------------------------
     # Congestion control
@@ -227,44 +227,44 @@ class TCPConnection:
             # drains (see _pump_send_queue).
             self._fin_pending = True
             return
-        self._send_and_track(Flags.FIN | Flags.ACK, b"", syn_or_fin=True)
+        self._send_and_track(FIN | ACK, b"", syn_or_fin=True)
 
     def abort(self, reason: str = "aborted") -> None:
         """Tear the connection down immediately (send RST if useful)."""
         if self.state in (ConnState.CLOSED, ConnState.FAILED):
             return
         if self.state is not ConnState.SYN_SENT:
-            self._emit(Flags.RST | Flags.ACK, b"")
+            self._emit(RST | ACK, b"")
         self._teardown(reason)
 
     # ------------------------------------------------------------------
     # Segment transmission
     # ------------------------------------------------------------------
-    def _send_and_track(self, flags: Flags, payload: bytes, syn_or_fin: bool = False) -> None:
+    def _send_and_track(self, flags: int, payload: bytes, syn_or_fin: bool = False) -> None:
         seq = self.snd_nxt
         self.snd_nxt += len(payload) + (1 if syn_or_fin else 0)
         self._retx_queue.append((seq, payload, flags))
         self._emit(flags, payload, seq)
         self._arm_retx_timer()
 
-    def _emit(self, flags: Flags, payload: bytes, seq: int | None = None) -> None:
+    def _emit(self, flags: int, payload: bytes, seq: int | None = None) -> None:
         """Encode and hand one segment to the IP layer."""
         if seq is None:
             seq = self.snd_nxt
-        if self._ece_pending and (flags & Flags.ACK):
-            flags |= Flags.ECE
+        if self._ece_pending and (flags & ACK):
+            flags |= ECE
             self.ecn_stats.ece_sent += 1
         if self._cwr_pending and payload:
-            flags |= Flags.CWR
+            flags |= CWR
             self._cwr_pending = False
             self.ecn_stats.cwr_sent += 1
         segment = TCPSegment(
             src_port=self.local_port,
             dst_port=self.remote_port,
             seq=seq,
-            ack=self.rcv_nxt if (flags & Flags.ACK) else 0,
+            ack=self.rcv_nxt if (flags & ACK) else 0,
             flags=flags,
-            mss=self.mss if (flags & Flags.SYN) else None,
+            mss=self.mss if (flags & SYN) else None,
             payload=payload,
         )
         # RFC 3168: only data segments of an ECN-negotiated connection
@@ -313,7 +313,7 @@ class TCPConnection:
         acked = 0
         while self._retx_queue:
             seq, payload, flags = self._retx_queue[0]
-            seg_len = len(payload) + (1 if flags & (Flags.SYN | Flags.FIN) else 0)
+            seg_len = len(payload) + (1 if flags & (SYN | FIN) else 0)
             if ack >= seq + seg_len:
                 self._retx_queue.pop(0)
                 acked += 1
@@ -335,7 +335,7 @@ class TCPConnection:
         if packet.ecn.is_ce:
             self.ecn_stats.ce_received += 1
             self._ece_pending = True
-        if segment.flags & Flags.ECE and not (segment.flags & Flags.SYN):
+        if segment.flags & ECE and not (segment.flags & SYN):
             self.ecn_stats.ece_received += 1
             # RFC 3168 §6.1.2: react as if a packet were dropped —
             # halve the window, at most once per window of data — and
@@ -345,11 +345,11 @@ class TCPConnection:
                 self.snd_una > self._last_reduction_mark
             ):
                 self._congestion_reduce()
-        if segment.flags & Flags.CWR and not (segment.flags & Flags.SYN):
+        if segment.flags & CWR and not (segment.flags & SYN):
             self.ecn_stats.cwr_received += 1
             self._ece_pending = False
 
-        if segment.flags & Flags.RST:
+        if segment.flags & RST:
             self._handle_rst()
             return
 
@@ -372,75 +372,75 @@ class TCPConnection:
         self.rcv_nxt = (segment.seq + 1) & 0xFFFFFFFF
         self._ack_retx_queue(segment.ack)
         self.state = ConnState.ESTABLISHED
-        self._emit(Flags.ACK, b"")
+        self._emit(ACK, b"")
         if self.on_established is not None:
             self.on_established(self)
 
     def _handle_syn_rcvd(self, segment: TCPSegment) -> None:
-        if segment.flags & Flags.ACK:
+        if segment.flags & ACK:
             self._ack_retx_queue(segment.ack)
             self.state = ConnState.ESTABLISHED
             if self.on_established is not None:
                 self.on_established(self)
             # The ACK completing the handshake may carry data.
-            if segment.payload or segment.flags & Flags.FIN:
+            if segment.payload or segment.flags & FIN:
                 self._handle_established(segment)
 
     def _handle_established(self, segment: TCPSegment) -> None:
-        if segment.flags & Flags.ACK:
+        if segment.flags & ACK:
             self._ack_retx_queue(segment.ack)
         self._absorb_payload(segment)
-        if segment.flags & Flags.FIN and segment.seq == self.rcv_nxt:
+        if segment.flags & FIN and segment.seq == self.rcv_nxt:
             self.rcv_nxt = (self.rcv_nxt + 1) & 0xFFFFFFFF
             self.state = ConnState.CLOSE_WAIT
-            self._emit(Flags.ACK, b"")
+            self._emit(ACK, b"")
             if self.on_close is not None:
                 self.on_close(self, "peer-fin")
 
     def _handle_fin_wait_1(self, segment: TCPSegment) -> None:
-        if segment.flags & Flags.ACK:
+        if segment.flags & ACK:
             self._ack_retx_queue(segment.ack)
             if not self._retx_queue:
                 self.state = ConnState.FIN_WAIT_2
         self._absorb_payload(segment)
-        if segment.flags & Flags.FIN and segment.seq == self.rcv_nxt:
+        if segment.flags & FIN and segment.seq == self.rcv_nxt:
             self.rcv_nxt = (self.rcv_nxt + 1) & 0xFFFFFFFF
-            self._emit(Flags.ACK, b"")
+            self._emit(ACK, b"")
             self._enter_time_wait()
 
     def _handle_fin_wait_2(self, segment: TCPSegment) -> None:
         self._absorb_payload(segment)
-        if segment.flags & Flags.FIN and segment.seq == self.rcv_nxt:
+        if segment.flags & FIN and segment.seq == self.rcv_nxt:
             self.rcv_nxt = (self.rcv_nxt + 1) & 0xFFFFFFFF
-            self._emit(Flags.ACK, b"")
+            self._emit(ACK, b"")
             self._enter_time_wait()
 
     def _handle_close_wait(self, segment: TCPSegment) -> None:
-        if segment.flags & Flags.ACK:
+        if segment.flags & ACK:
             self._ack_retx_queue(segment.ack)
 
     def _handle_last_ack(self, segment: TCPSegment) -> None:
-        if segment.flags & Flags.ACK:
+        if segment.flags & ACK:
             self._ack_retx_queue(segment.ack)
             if not self._retx_queue:
                 self._teardown("closed")
 
     def _handle_time_wait(self, segment: TCPSegment) -> None:
         # Re-ACK a retransmitted FIN.
-        if segment.flags & Flags.FIN:
-            self._emit(Flags.ACK, b"")
+        if segment.flags & FIN:
+            self._emit(ACK, b"")
 
     def _absorb_payload(self, segment: TCPSegment) -> None:
         if not segment.payload:
             return
         if segment.seq == self.rcv_nxt:
             self.rcv_nxt = (self.rcv_nxt + len(segment.payload)) & 0xFFFFFFFF
-            self._emit(Flags.ACK, b"")
+            self._emit(ACK, b"")
             if self.on_data is not None:
                 self.on_data(self, segment.payload)
         else:
             # Out of order or duplicate: re-ACK what we have.
-            self._emit(Flags.ACK, b"")
+            self._emit(ACK, b"")
 
     # ------------------------------------------------------------------
     # Teardown
@@ -609,7 +609,9 @@ class TCPStack:
             dst=conn.remote_addr,
             protocol=PROTO_TCP,
             payload=segment.encode(self.host.addr, conn.remote_addr),
-            tos=tos_byte(0, ecn_mark),
+            # tos_byte(0, ecn) is just the codepoint (DSCP 0 on every
+            # stack-originated segment).
+            tos=int(ecn_mark),
             ident=self._next_ident,
         )
         self.host.send_ip(packet)
@@ -628,7 +630,7 @@ class TCPStack:
         if segment.is_syn:
             self._handle_passive_open(segment, packet)
             return
-        if not (segment.flags & Flags.RST):
+        if not (segment.flags & RST):
             self._send_rst(segment, packet)
 
     def _handle_passive_open(self, segment: TCPSegment, packet: IPv4Packet) -> None:
@@ -652,22 +654,22 @@ class TCPStack:
         conn.state = ConnState.SYN_RCVD
         self.connections[conn.key] = conn
         listener.on_connection(conn)
-        synack = Flags.SYN | Flags.ACK
+        synack = SYN | ACK
         if ecn_requested and policy is ECNServerPolicy.NEGOTIATE:
-            synack |= Flags.ECE
+            synack |= ECE
             conn.ecn_active = True
         elif ecn_requested and policy is ECNServerPolicy.REFLECT:
-            synack |= Flags.ECE | Flags.CWR
+            synack |= ECE | CWR
         conn._send_and_track(synack, b"", syn_or_fin=True)
 
     def _send_rst(self, segment: TCPSegment, packet: IPv4Packet) -> None:
-        seg_len = len(segment.payload) + (1 if segment.flags & (Flags.SYN | Flags.FIN) else 0)
+        seg_len = len(segment.payload) + (1 if segment.flags & (SYN | FIN) else 0)
         rst = TCPSegment(
             src_port=segment.dst_port,
             dst_port=segment.src_port,
             seq=segment.ack,
             ack=(segment.seq + seg_len) & 0xFFFFFFFF,
-            flags=Flags.RST | Flags.ACK,
+            flags=RST | ACK,
         )
         self._next_ident = (self._next_ident + 1) & 0xFFFF
         reply = IPv4Packet(

@@ -13,7 +13,7 @@ import enum
 import struct
 from dataclasses import dataclass
 
-from ..netsim.checksum import internet_checksum, pseudo_header
+from ..netsim.checksum import data_sum16, internet_checksum, pseudo_header
 from ..netsim.errors import CodecError
 from ..netsim.ipv4 import PROTO_TCP
 
@@ -41,6 +41,20 @@ class Flags(enum.IntFlag):
     CWR = 0x80
 
 
+#: Plain-int mirrors of the flag bits.  ``IntFlag`` bitwise operators
+#: construct a new enum instance per ``&``/``|`` — measurably hot when
+#: every segment is tested against half a dozen masks — so the segment
+#: stores its flags as a plain ``int`` and the hot paths combine these
+#: constants with native int arithmetic instead.
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+URG = 0x20
+ECE = 0x40
+CWR = 0x80
+
 #: The flag combination of an ECN-setup SYN (RFC 3168 §6.1.1).
 ECN_SETUP_SYN = Flags.SYN | Flags.ECE | Flags.CWR
 #: The flag combination of an ECN-setup SYN-ACK.
@@ -49,32 +63,42 @@ ECN_SETUP_SYNACK = Flags.SYN | Flags.ACK | Flags.ECE
 
 @dataclass
 class TCPSegment:
-    """A parsed TCP segment."""
+    """A parsed TCP segment.
+
+    ``flags`` is normalised to a plain ``int`` (``Flags`` members are
+    accepted — they are ints — and converted), so per-segment flag
+    tests run as native integer masking.
+    """
 
     src_port: int
     dst_port: int
     seq: int = 0
     ack: int = 0
-    flags: Flags = Flags(0)
+    flags: int = 0
     window: int = 65535
     payload: bytes = b""
     mss: int | None = None
+
+    def __post_init__(self) -> None:
+        # Strip any IntFlag wrapper so downstream `&`/`|` stay int-fast.
+        if type(self.flags) is not int:
+            self.flags = int(self.flags)
 
     # ------------------------------------------------------------------
     # Flag conveniences
     # ------------------------------------------------------------------
     @property
     def is_syn(self) -> bool:
-        return bool(self.flags & Flags.SYN) and not (self.flags & Flags.ACK)
+        return (self.flags & (SYN | ACK)) == SYN
 
     @property
     def is_synack(self) -> bool:
-        return bool(self.flags & Flags.SYN) and bool(self.flags & Flags.ACK)
+        return (self.flags & (SYN | ACK)) == (SYN | ACK)
 
     @property
     def is_ecn_setup_syn(self) -> bool:
         """SYN with both ECE and CWR set: the client requests ECN."""
-        return self.is_syn and bool(self.flags & Flags.ECE) and bool(self.flags & Flags.CWR)
+        return (self.flags & (SYN | ACK | ECE | CWR)) == (SYN | ECE | CWR)
 
     @property
     def is_ecn_setup_synack(self) -> bool:
@@ -84,20 +108,24 @@ class TCPSegment:
         valid ECN-setup SYN-ACK (it indicates a broken or reflecting
         implementation) and MUST be treated as non-ECN-setup.
         """
-        return (
-            self.is_synack
-            and bool(self.flags & Flags.ECE)
-            and not (self.flags & Flags.CWR)
-        )
+        return (self.flags & (SYN | ACK | ECE | CWR)) == (SYN | ACK | ECE)
 
     # ------------------------------------------------------------------
     # Wire format
     # ------------------------------------------------------------------
     def encode(self, src_addr: int, dst_addr: int) -> bytes:
-        """Serialise with checksum over the IPv4 pseudo-header."""
-        for name, port in (("src", self.src_port), ("dst", self.dst_port)):
-            if not 0 <= port <= 0xFFFF:
-                raise CodecError(f"TCP {name} port out of range: {port}")
+        """Serialise with checksum over the IPv4 pseudo-header.
+
+        The checksum is computed arithmetically from the header fields
+        and pseudo-header values (RFC 1071 sums are order-independent
+        16-bit adds), so only the options+payload tail — empty for the
+        pure ACKs that dominate a connection — needs a byte sweep, and
+        the header is packed exactly once.
+        """
+        if not 0 <= self.src_port <= 0xFFFF:
+            raise CodecError(f"TCP src port out of range: {self.src_port}")
+        if not 0 <= self.dst_port <= 0xFFFF:
+            raise CodecError(f"TCP dst port out of range: {self.dst_port}")
         options = b""
         if self.mss is not None:
             options = struct.pack("!BBH", OPT_MSS, 4, self.mss)
@@ -105,21 +133,42 @@ class TCPSegment:
         while len(options) % 4:
             options += bytes((OPT_NOP,))
         data_offset = (HEADER_LEN + len(options)) // 4
-        header = _HEADER.pack(
-            self.src_port,
-            self.dst_port,
-            self.seq & 0xFFFFFFFF,
-            self.ack & 0xFFFFFFFF,
-            data_offset << 4,
-            int(self.flags) & 0xFF,
-            self.window,
-            0,
-            0,
+        flag_byte = self.flags & 0xFF
+        seq = self.seq & 0xFFFFFFFF
+        ack = self.ack & 0xFFFFFFFF
+        src = src_addr & 0xFFFFFFFF
+        dst = dst_addr & 0xFFFFFFFF
+        tail = options + self.payload
+        length = HEADER_LEN + len(tail)
+        total = (
+            # pseudo-header: addresses, protocol, TCP length
+            (src >> 16) + (src & 0xFFFF)
+            + (dst >> 16) + (dst & 0xFFFF)
+            + PROTO_TCP + (length & 0xFFFF)
+            # header words (checksum field itself counts as zero)
+            + self.src_port + self.dst_port
+            + (seq >> 16) + (seq & 0xFFFF)
+            + (ack >> 16) + (ack & 0xFFFF)
+            + ((data_offset << 12) | flag_byte)
+            + self.window
+            + (data_sum16(tail) if tail else 0)
         )
-        segment = header + options + self.payload
-        pseudo = pseudo_header(src_addr, dst_addr, PROTO_TCP, len(segment))
-        csum = internet_checksum(pseudo + segment)
-        return segment[:16] + struct.pack("!H", csum) + segment[18:]
+        total = (total & 0xFFFF) + (total >> 16)
+        total = (total & 0xFFFF) + (total >> 16)
+        return (
+            _HEADER.pack(
+                self.src_port,
+                self.dst_port,
+                seq,
+                ack,
+                data_offset << 4,
+                flag_byte,
+                self.window,
+                ~total & 0xFFFF,
+                0,
+            )
+            + tail
+        )
 
     @classmethod
     def decode(
@@ -152,13 +201,13 @@ class TCPSegment:
             pseudo = pseudo_header(src_addr, dst_addr, PROTO_TCP, len(data))
             if internet_checksum(pseudo + data) != 0:
                 raise CodecError("TCP checksum mismatch")
-        mss = _parse_mss(data[HEADER_LEN:data_offset])
+        mss = _parse_mss(data[HEADER_LEN:data_offset]) if data_offset > HEADER_LEN else None
         return cls(
             src_port=src_port,
             dst_port=dst_port,
             seq=seq,
             ack=ack,
-            flags=Flags(flag_byte),
+            flags=flag_byte,
             window=window,
             payload=data[data_offset:],
             mss=mss,

@@ -168,3 +168,74 @@ class TestMaxEventsBoundary:
         with pytest.raises(SimulationError):
             sched.run(max_events=0)
         assert ran == []
+
+
+class TestHeapCompaction:
+    """Lazily-cancelled events must not accumulate without bound."""
+
+    def test_compaction_evicts_dead_entries(self):
+        sched = EventScheduler()
+        keep = [sched.schedule(float(i), lambda: None) for i in range(10)]
+        doomed = [sched.schedule(100.0 + i, lambda: None) for i in range(500)]
+        for event in doomed:
+            event.cancel()
+        # Dead entries outnumber live ones, so the heap compacts down
+        # to (roughly) the live population instead of holding all 510.
+        assert sched.pending == 10
+        assert len(sched._heap) < 64
+        ran = []
+        for event in keep:
+            event.callback = ran.append
+            event.args = (event.seq,)
+        sched.run()
+        assert ran == [e.seq for e in keep]
+
+    def test_compaction_preserves_dispatch_order(self):
+        sched = EventScheduler()
+        order = []
+        events = [
+            sched.schedule(1.0, order.append, i) for i in range(200)
+        ]  # all tied at t=1.0: order must come from seq
+        for event in events[::2]:
+            event.cancel()
+        sched.run()
+        assert order == [e.seq for e in events[1::2]]
+
+    def test_schedule_cancel_loop_stays_bounded(self):
+        sched = EventScheduler()
+        for _ in range(10_000):
+            sched.schedule(1.0, lambda: None).cancel()
+        assert len(sched._heap) <= 128
+        assert sched.pending == 0
+
+
+class TestCalendarQueue:
+    """The benchmark-only backend must match the heap's ordering."""
+
+    def test_matches_heap_order_on_mixed_stream(self):
+        import heapq
+        import random
+
+        from repro.netsim.engine import CalendarQueue, Event
+
+        rng = random.Random(20150401)
+        events = [
+            Event(rng.random() * 10.0, seq, lambda: None, ())
+            for seq in range(2000)
+        ]
+        calendar = CalendarQueue()
+        heap = []
+        for event in events:
+            calendar.push(event)
+            heapq.heappush(heap, event)
+        popped = [calendar.pop() for _ in range(len(events))]
+        expected = [heapq.heappop(heap) for _ in range(len(events))]
+        assert popped == expected
+
+    def test_ties_break_by_seq(self):
+        from repro.netsim.engine import CalendarQueue, Event
+
+        calendar = CalendarQueue()
+        for seq in (3, 1, 2, 0):
+            calendar.push(Event(5.0, seq, lambda: None, ()))
+        assert [calendar.pop().seq for _ in range(4)] == [0, 1, 2, 3]

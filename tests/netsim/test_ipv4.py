@@ -67,6 +67,12 @@ class TestPrefix:
         with pytest.raises(AddressError):
             Prefix(parse_addr("10.1.0.1"), 16)
 
+    def test_non_numeric_mask_raises_address_error(self):
+        # A junk mask must surface as AddressError like every other
+        # malformed input, not leak the bare ValueError from int().
+        with pytest.raises(AddressError, match="bad prefix length"):
+            Prefix.parse("10.1.0.0/sixteen")
+
     def test_size(self):
         assert Prefix.parse("10.0.0.0/8").size == 1 << 24
         assert Prefix.parse("10.0.0.1/32").size == 1

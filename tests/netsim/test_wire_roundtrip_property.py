@@ -1,0 +1,194 @@
+"""Byte-exactness properties for the packet hot path.
+
+The hot-path overhaul (slotted packets, arithmetic header checksum,
+in-place TTL/ECN mutation) must not change a single wire byte.  These
+properties pin the codec against randomly generated packets: encode →
+decode round-trips, ICMP quote truncation keeps its prefix exactness,
+and the in-place ECN rewrite produces bytes identical to a
+fresh-object rewrite.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.ecn import ECN
+from repro.netsim.icmp import quote_datagram, time_exceeded
+from repro.netsim.ipv4 import HEADER_LEN, IPv4Packet, PROTO_UDP
+
+addrs = st.integers(1, 0xFFFFFFFE)
+packets = st.builds(
+    IPv4Packet,
+    src=addrs,
+    dst=addrs,
+    protocol=st.integers(0, 255),
+    payload=st.binary(max_size=64),
+    ttl=st.integers(1, 255),
+    tos=st.integers(0, 255),
+    ident=st.integers(0, 0xFFFF),
+    dont_fragment=st.booleans(),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(packets)
+def test_encode_decode_roundtrip(packet):
+    decoded = IPv4Packet.decode(packet.encode())
+    assert decoded == packet
+
+
+@settings(max_examples=200, deadline=None)
+@given(packets)
+def test_arithmetic_checksum_verifies(packet):
+    # decode() recomputes the RFC 1071 checksum over the wire header;
+    # the arithmetic encoder must produce bytes that verify.
+    IPv4Packet.decode(packet.encode(), verify=True)
+
+
+@settings(max_examples=100, deadline=None)
+@given(packets, st.integers(0, 64))
+def test_icmp_quote_is_exact_truncation(packet, quote_payload):
+    quote = quote_datagram(packet, payload_bytes=quote_payload)
+    wire = packet.encode()
+    keep = min(quote_payload, len(packet.payload))
+    assert quote == wire[: HEADER_LEN + keep]
+
+
+@settings(max_examples=100, deadline=None)
+@given(packets)
+def test_ttl_toggle_quote_matches_copy_quote(packet):
+    # The router quotes an expiring packet by toggling TTL to 0 in
+    # place around time_exceeded() instead of building a copy.  The
+    # toggle must produce byte-identical quotes and leave the live
+    # packet untouched.
+    expected = time_exceeded(packet.replace(ttl=0))
+    saved = packet.ttl
+    packet.ttl = 0
+    message = time_exceeded(packet)
+    packet.ttl = saved
+    assert message.body == expected.body
+    assert message.quoted_packet().ttl == 0
+    assert packet.ttl == saved
+
+
+@settings(max_examples=100, deadline=None)
+@given(packets, st.sampled_from(list(ECN)))
+def test_in_place_ecn_rewrite_matches_copy_rewrite(packet, ecn):
+    copied = packet.with_ecn(ecn)
+    mutated = packet.copy()
+    mutated.set_ecn(ecn)
+    assert mutated == copied
+    assert mutated.encode() == copied.encode()
+    assert mutated.ecn is ecn
+    # DSCP bits survive the rewrite (RFC 3168: ECN field only).
+    assert mutated.tos & 0xFC == packet.tos & 0xFC
+
+
+@settings(max_examples=100, deadline=None)
+@given(packets)
+def test_copy_is_independent(packet):
+    clone = packet.copy()
+    assert clone == packet and clone is not packet
+    clone.ttl = max(1, clone.ttl - 1)
+    clone.payload = b"x" + clone.payload
+    assert packet.encode() == IPv4Packet.decode(packet.encode()).encode()
+
+
+def test_udp_probe_bytes_stable_under_replace():
+    # replace() must behave like dataclasses.replace did: new object,
+    # selected fields overridden, original untouched.
+    packet = IPv4Packet(
+        src=0x0A000001,
+        dst=0x0A000002,
+        protocol=PROTO_UDP,
+        payload=b"probe",
+        ttl=64,
+        tos=ECN.ECT_0,
+    )
+    bleached = packet.replace(tos=0)
+    assert packet.tos == int(ECN.ECT_0)
+    assert bleached.tos == 0
+    assert bleached.payload == packet.payload
+    try:
+        packet.replace(nonsense=1)
+    except TypeError:
+        pass
+    else:  # pragma: no cover - defends the API contract
+        raise AssertionError("replace() accepted an unknown field")
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    addrs,
+    addrs,
+    st.builds(
+        __import__("repro.tcp.segment", fromlist=["TCPSegment"]).TCPSegment,
+        src_port=st.integers(0, 0xFFFF),
+        dst_port=st.integers(0, 0xFFFF),
+        seq=st.integers(0, 0xFFFFFFFF),
+        ack=st.integers(0, 0xFFFFFFFF),
+        flags=st.integers(0, 0xFF),
+        window=st.integers(0, 0xFFFF),
+        payload=st.binary(max_size=40),
+        mss=st.one_of(st.none(), st.integers(0, 0xFFFF)),
+    ),
+)
+def test_tcp_arithmetic_checksum_matches_reference(src, dst, segment):
+    # encode() sums header fields arithmetically instead of packing a
+    # zero-checksum header and sweeping bytes; the result must verify
+    # against the RFC 1071 reference and round-trip every field.
+    import struct
+
+    from repro.netsim.checksum import internet_checksum, pseudo_header
+    from repro.netsim.ipv4 import PROTO_TCP
+    from repro.tcp.segment import TCPSegment
+
+    wire = segment.encode(src, dst)
+    pseudo = pseudo_header(src, dst, PROTO_TCP, len(wire))
+    assert internet_checksum(pseudo + wire) == 0
+    decoded = TCPSegment.decode(wire, src, dst, verify=True)
+    assert decoded.src_port == segment.src_port
+    assert decoded.dst_port == segment.dst_port
+    assert decoded.seq == segment.seq
+    assert decoded.ack == segment.ack
+    assert decoded.flags == segment.flags
+    assert decoded.window == segment.window
+    assert decoded.payload == segment.payload
+    assert decoded.mss == segment.mss
+    # RFC 768 zero-avoidance is UDP-only: TCP transmits a genuine zero
+    # checksum when the sum folds to 0xFFFF.
+    (csum,) = struct.unpack_from("!H", wire, 16)
+    assert 0 <= csum <= 0xFFFF
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    addrs,
+    addrs,
+    st.integers(0, 0xFFFF),
+    st.integers(0, 0xFFFF),
+    st.binary(max_size=32),
+)
+def test_socket_incremental_udp_checksum_matches_encode(
+    src, dst, src_port, dst_port, payload
+):
+    # UDPSocket.send folds dst_port into a cached checksum base
+    # instead of re-summing the datagram per probe; the bytes must be
+    # identical to a full UDPDatagram.encode for every input.
+    from repro.netsim.checksum import internet_checksum, pseudo_header
+    from repro.netsim.udp import _HEADER, UDPDatagram
+
+    want = UDPDatagram(
+        src_port=src_port, dst_port=dst_port, payload=payload
+    ).encode(src, dst)
+    length = 8 + len(payload)
+    base = 0xFFFF - internet_checksum(
+        pseudo_header(src, dst, PROTO_UDP, length)
+        + _HEADER.pack(src_port, 0, length, 0)
+        + payload
+    )
+    total = base + dst_port
+    total = (total & 0xFFFF) + (total >> 16)
+    csum = 0xFFFF - total
+    if csum == 0:
+        csum = 0xFFFF
+    assert _HEADER.pack(src_port, dst_port, length, csum) + payload == want
