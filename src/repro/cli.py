@@ -30,6 +30,7 @@ from .core.analysis import (
     analyze_campaign,
     analyze_correlation,
     analyze_geography,
+    analyze_quic_ecn,
     analyze_reachability,
     analyze_tcp_ecn,
 )
@@ -89,7 +90,11 @@ def _analyses(world: SyntheticInternet, traces: TraceSet, campaign: TracerouteCa
     tcp = analyze_tcp_ecn(traces)
     paths = analyze_campaign(campaign, world.noisy_as_map)
     corr = analyze_correlation(traces)
-    return geo, reach, diff_a, diff_b, tcp, paths, corr
+    # None when the study ran without the QUIC probe family — report
+    # and export then reproduce the legacy artefacts byte for byte.
+    quic_summary = analyze_quic_ecn(traces)
+    quic = quic_summary if quic_summary.total else None
+    return geo, reach, diff_a, diff_b, tcp, paths, corr, quic
 
 
 def cmd_study(args: argparse.Namespace) -> int:
@@ -177,6 +182,7 @@ def cmd_study(args: argparse.Namespace) -> int:
             span_sink=span_sink if span_detail is not None else None,
             flight_dir=obs_dir,
             profile_dir=obs_dir if profile else None,
+            quic=args.quic,
         )
         if span_detail is not None:
             spans = span_sink
@@ -205,7 +211,7 @@ def cmd_study(args: argparse.Namespace) -> int:
             profiler = cProfile.Profile()
             profiler.enable()
         try:
-            app = MeasurementApplication(world, targets=report.addresses)
+            app = MeasurementApplication(world, targets=report.addresses, quic=args.quic)
             traces = app.run_study(progress=progress if args.verbose else None)
             campaign = app.run_traceroutes()
         finally:
@@ -226,19 +232,23 @@ def cmd_study(args: argparse.Namespace) -> int:
         if registry is not None:
             metrics_snapshot = registry.snapshot()
 
-    geo, reach, diff_a, diff_b, tcp, paths, corr = _analyses(world, traces, campaign)
-    text = full_report(geo, reach, diff_a, diff_b, tcp, campaign, paths, corr)
+    geo, reach, diff_a, diff_b, tcp, paths, corr, quic = _analyses(
+        world, traces, campaign
+    )
+    text = full_report(geo, reach, diff_a, diff_b, tcp, campaign, paths, corr, quic=quic)
 
     if args.out:
         out = Path(args.out)
         out.mkdir(parents=True, exist_ok=True)
         manifest: dict = {"scale": args.scale, "seed": args.seed}
+        if args.quic:
+            manifest["quic"] = True
         if fault_plan is not None:
             manifest["chaos"] = fault_plan.summary()
         atomic_write_text(out / "manifest.json", json.dumps(manifest))
         traces.save(out / "traces.json")
         campaign.save(out / "traceroutes.json")
-        export_summary_json(out / "summary.json", geo, reach, tcp, paths, corr)
+        export_summary_json(out / "summary.json", geo, reach, tcp, paths, corr, quic=quic)
         export_traces_csv(out / "traces.csv", traces)
         if metrics_snapshot is not None:
             export_metrics_json(out / "metrics.json", metrics_snapshot)
@@ -321,8 +331,12 @@ def cmd_report(args: argparse.Namespace) -> int:
         campaign = TracerouteCampaign.load(study / "traceroutes.json")
     except (OSError, ValueError, KeyError) as exc:
         return _fail(f"cannot load study from {study}/: {exc}")
-    geo, reach, diff_a, diff_b, tcp, paths, corr = _analyses(world, traces, campaign)
-    print(full_report(geo, reach, diff_a, diff_b, tcp, campaign, paths, corr))
+    # ``quic`` is auto-detected from the loaded traces: archives
+    # written with --quic carry the extended outcome rows.
+    geo, reach, diff_a, diff_b, tcp, paths, corr, quic = _analyses(
+        world, traces, campaign
+    )
+    print(full_report(geo, reach, diff_a, diff_b, tcp, campaign, paths, corr, quic=quic))
     dashboard = getattr(args, "dashboard", None)
     if dashboard is not None:
         from .obs import write_dashboard
@@ -528,6 +542,11 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--metrics", action="store_true",
                        help="collect simulation metrics (counters are "
                             "identical for any --workers value)")
+    study.add_argument("--quic", action="store_true",
+                       help="also run the QUIC ECN-validation probe "
+                            "family (RFC 9000 §13.4 count validation "
+                            "against every server; results identical "
+                            "for any --workers value)")
     study.add_argument("--chaos", type=str, default=None,
                        metavar="PROFILE",
                        help="inject deterministic faults from a chaos "

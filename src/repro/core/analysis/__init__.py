@@ -9,6 +9,7 @@ Module                 Paper artefact
 ``pathanalysis``       §4.2 statistics, Figure 4
 ``tcp_ecn``            §4.3, Figure 5, Figure 6
 ``correlation``        §4.4, Table 2
+``quic_ecn``           (extension) RFC 9000 §13.4 vs raw UDP
 =====================  ==========================================
 """
 
@@ -28,6 +29,7 @@ from .pathanalysis import (
     analyze_campaign,
     classify_path,
 )
+from .quic_ecn import QUICECNSummary, QUICStateRow, analyze_quic_ecn
 from .reachability import (
     ReachabilitySummary,
     TraceReachability,
@@ -70,6 +72,8 @@ __all__ = [
     "MEASUREMENT_YEAR",
     "PASS",
     "PathAnalysis",
+    "QUICECNSummary",
+    "QUICStateRow",
     "ReachabilitySummary",
     "RegionalReachability",
     "STRIP",
@@ -80,6 +84,7 @@ __all__ = [
     "analyze_campaign",
     "analyze_correlation",
     "analyze_geography",
+    "analyze_quic_ecn",
     "analyze_reachability",
     "analyze_regional",
     "analyze_tcp_ecn",

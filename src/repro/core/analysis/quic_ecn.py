@@ -1,0 +1,148 @@
+"""QUIC ECN validation vs raw-UDP reachability (the modern sequel).
+
+The source paper measured whether ECT(0)-marked UDP *arrives*; RFC
+9000 §13.4 validation measures whether the marks arrive *intact*.
+This analysis cross-tabulates the two: for every QUIC validation
+state, how often the very same (vantage, server, epoch) probe pair
+found the server reachable with raw ECT(0) UDP.  The table makes the
+sequel papers' central point quantitative — **bleached** paths look
+perfectly healthy to a reachability probe (the marks are stripped,
+the packets still arrive), while **blackholed** paths are the only
+failure raw differential probing can see.  Bleaching dominating
+blackholing is exactly the finding of "ECN with QUIC: Challenges in
+the Wild" (arXiv 2309.14273).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...protocols.quic.validation import QUIC_STATES, ecn_usable
+from ..traces import TraceSet
+
+
+@dataclass(frozen=True)
+class QUICStateRow:
+    """One row of the validation-vs-reachability cross-tabulation."""
+
+    state: str
+    #: (vantage, server, epoch) probes ending in this state.
+    observations: int
+    #: Share of all QUIC observations.
+    pct_of_total: float
+    #: Of these observations, % where the same trace's raw ECT(0) UDP
+    #: probe reached the server (None when there are none).
+    raw_ect_reachable_pct: float | None
+    #: Same for the not-ECT UDP probe.
+    raw_plain_reachable_pct: float | None
+    #: Servers whose most frequent validation state is this one.
+    servers_dominant: int
+
+
+@dataclass
+class QUICECNSummary:
+    """Study-wide QUIC §13.4 validation aggregates."""
+
+    rows: list[QUICStateRow] = field(default_factory=list)
+    total: int = 0
+    #: Dominant validation state per server address.
+    dominant_state: dict[int, str] = field(default_factory=dict)
+
+    def row(self, state: str) -> QUICStateRow | None:
+        """The cross-tabulation row for one state, if present."""
+        for candidate in self.rows:
+            if candidate.state == state:
+                return candidate
+        return None
+
+    def count(self, state: str) -> int:
+        """Observations ending in ``state`` (0 when absent)."""
+        found = self.row(state)
+        return found.observations if found is not None else 0
+
+    @property
+    def pct_ecn_usable(self) -> float:
+        """Share of probes after which RFC 9000 keeps ECN enabled."""
+        if not self.total:
+            return 0.0
+        usable = sum(r.observations for r in self.rows if ecn_usable(r.state))
+        return 100.0 * usable / self.total
+
+    @property
+    def pct_bleached(self) -> float:
+        """Share of probes where marks were stripped in flight."""
+        return 100.0 * self.count("bleached") / self.total if self.total else 0.0
+
+    @property
+    def pct_blackholed(self) -> float:
+        """Share of probes where ECT-marked packets were eaten."""
+        return 100.0 * self.count("blackhole") / self.total if self.total else 0.0
+
+    @property
+    def bleaching_dominates(self) -> bool:
+        """The sequel papers' headline: bleaching > blackholing.
+
+        Bleaching is also the failure mode raw reachability probing
+        cannot see — its rows show near-full raw ECT reachability.
+        """
+        return self.count("bleached") > self.count("blackhole")
+
+
+def analyze_quic_ecn(trace_set: TraceSet) -> QUICECNSummary:
+    """Cross-tabulate QUIC validation states against raw reachability.
+
+    Returns an empty summary (``total == 0``) when the study ran
+    without the QUIC probe family; callers use that to skip the
+    report section entirely.
+    """
+    observations = 0
+    by_state: dict[str, int] = {state: 0 for state in QUIC_STATES}
+    ect_reachable: dict[str, int] = {state: 0 for state in QUIC_STATES}
+    plain_reachable: dict[str, int] = {state: 0 for state in QUIC_STATES}
+    per_server: dict[int, dict[str, int]] = {}
+    for trace in trace_set:
+        for outcome in trace.outcomes.values():
+            quic = outcome.quic
+            if quic is None:
+                continue
+            observations += 1
+            by_state[quic.state] += 1
+            if outcome.udp_ect:
+                ect_reachable[quic.state] += 1
+            if outcome.udp_plain:
+                plain_reachable[quic.state] += 1
+            server_states = per_server.setdefault(outcome.server_addr, {})
+            server_states[quic.state] = server_states.get(quic.state, 0) + 1
+
+    dominant: dict[int, str] = {}
+    for addr, states in per_server.items():
+        # Deterministic tie-break: higher count wins, then QUIC_STATES
+        # order (worse news first would be arbitrary; report order is
+        # the canonical order everywhere else).
+        dominant[addr] = max(
+            states, key=lambda s: (states[s], -QUIC_STATES.index(s))
+        )
+    dominant_counts: dict[str, int] = {state: 0 for state in QUIC_STATES}
+    for state in dominant.values():
+        dominant_counts[state] += 1
+
+    rows = [
+        QUICStateRow(
+            state=state,
+            observations=by_state[state],
+            pct_of_total=(100.0 * by_state[state] / observations) if observations else 0.0,
+            raw_ect_reachable_pct=(
+                100.0 * ect_reachable[state] / by_state[state]
+                if by_state[state]
+                else None
+            ),
+            raw_plain_reachable_pct=(
+                100.0 * plain_reachable[state] / by_state[state]
+                if by_state[state]
+                else None
+            ),
+            servers_dominant=dominant_counts[state],
+        )
+        for state in QUIC_STATES
+    ]
+    return QUICECNSummary(rows=rows, total=observations, dominant_state=dominant)

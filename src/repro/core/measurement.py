@@ -22,8 +22,16 @@ from ..netsim.host import Host
 from ..scenario.internet import SyntheticInternet
 from ..scenario.parameters import ProbeParams, TraceScheduleParams
 from ..scenario.vantages import VANTAGES
-from .probes import probe_tcp, probe_udp, run_traceroute
-from .traces import PathTrace, ProbeOutcome, Trace, TraceSet, TracerouteCampaign
+from ..protocols.quic.validation import classify_probe
+from .probes import probe_quic, probe_tcp, probe_udp, run_traceroute
+from .traces import (
+    PathTrace,
+    ProbeOutcome,
+    QUICProbeOutcome,
+    Trace,
+    TraceSet,
+    TracerouteCampaign,
+)
 
 #: Progress callback: (current step, total steps, label).
 ProgressFn = Callable[[int, int, str], None]
@@ -79,9 +87,16 @@ class MeasurementApplication:
         self,
         world: SyntheticInternet,
         targets: Sequence[int] | None = None,
+        quic: bool = False,
     ) -> None:
         self.world = world
         self.probe_params: ProbeParams = world.params.probes
+        #: Run the fourth probe family (QUIC ECN validation) after the
+        #: paper's four measurements.  The extra probe runs inside the
+        #: same measurement epoch, *after* the legacy phases, so the
+        #: legacy packet/RNG sequence — and therefore every archived
+        #: study — is untouched.
+        self.quic = quic
         #: The probe target list: normally the discovery output; falls
         #: back to ground truth (every deployed server) when the caller
         #: skips the discovery phase.
@@ -135,6 +150,26 @@ class MeasurementApplication:
             )
             if phased:
                 phased.annotate(ok=tcp_ecn.ok, negotiated=tcp_ecn.ecn_negotiated)
+        quic_outcome = None
+        if self.quic:
+            with phase("quic"):
+                raw = probe_quic(vantage_host, server_addr, params=probe)
+                state = classify_probe(raw)
+                quic_outcome = QUICProbeOutcome(
+                    state=state,
+                    handshake_ok=raw.handshake_ok,
+                    handshake_attempts=raw.handshake_attempts,
+                    packets_sent=raw.packets_sent,
+                    packets_acked=raw.packets_acked,
+                    ect0_echoed=raw.ect0_echoed,
+                    ect1_echoed=raw.ect1_echoed,
+                    ce_echoed=raw.ce_echoed,
+                )
+                metrics = self.world.network.metrics
+                if metrics:
+                    metrics.incr(f"app.quic.{state}")
+                if phased:
+                    phased.annotate(state=state, acked=raw.packets_acked)
         return ProbeOutcome(
             server_addr=server_addr,
             udp_plain=udp_plain.responded,
@@ -145,6 +180,7 @@ class MeasurementApplication:
             tcp_ecn=tcp_ecn.ok,
             ecn_negotiated=tcp_ecn.ecn_negotiated,
             http_status=tcp_plain.response.status if tcp_plain.response else None,
+            quic=quic_outcome,
         )
 
     def run_trace(self, vantage_key: str, trace_id: int, batch: int) -> Trace:

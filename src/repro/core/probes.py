@@ -10,6 +10,12 @@ Three probes, straight from §3 of the paper:
   returning ICMP quotations reveal, hop by hop, whether the mark
   survived (§4.2, after Malone & Luckie).
 
+Plus the modern-sequel extension:
+
+* :func:`probe_quic` — a QUIC-like connection performing RFC 9000
+  §13.4 ECN count validation, distinguishing bleached from blackholed
+  from valid paths where raw reachability probes cannot.
+
 All primitives are synchronous from the caller's perspective: they
 drive the simulation scheduler until the probe resolves, exactly as a
 blocking measurement binary would.
@@ -33,6 +39,7 @@ from ..netsim.ipv4 import IPv4Packet
 from ..netsim.udp import UDPDatagram
 from ..protocols.http.client import FetchResult, HTTPFetch
 from ..protocols.ntp.client import NTPQueryResult, query_server
+from ..protocols.quic.connection import QUICProbeResult, probe_server
 from ..scenario.parameters import ProbeParams
 from .traces import HopObservation, PathTrace
 
@@ -60,6 +67,30 @@ def probe_udp(
     host.network.scheduler.run()
     if not results:
         raise RuntimeError("NTP query did not resolve")  # pragma: no cover
+    return results[0]
+
+
+def probe_quic(
+    host: Host,
+    server_addr: int,
+    params: ProbeParams | None = None,
+) -> QUICProbeResult:
+    """Run one QUIC ECN-validation probe to completion."""
+    params = params if params is not None else ProbeParams()
+    results: list[QUICProbeResult] = []
+    probe_server(
+        host,
+        server_addr,
+        results.append,
+        packets=params.quic_packets,
+        handshake_attempts=params.quic_handshake_attempts,
+        fallback_attempts=params.quic_fallback_attempts,
+        timeout=params.quic_timeout,
+        packet_gap=params.quic_packet_gap,
+    )
+    host.network.scheduler.run()
+    if not results:
+        raise RuntimeError("QUIC probe did not resolve")  # pragma: no cover
     return results[0]
 
 

@@ -17,7 +17,26 @@ from pathlib import Path
 from typing import Iterable, Iterator
 
 from ..ioutil import atomic_write_text
+from ..protocols.quic.validation import QUIC_STATES
 
+
+@dataclass(slots=True)
+class QUICProbeOutcome:
+    """The QUIC ECN-validation measurement for one server in one trace.
+
+    ``state`` is one of :data:`repro.protocols.quic.QUIC_STATES`; the
+    counters are the raw material the classifier consumed, kept so
+    re-analysis can recompute or refine the taxonomy offline.
+    """
+
+    state: str
+    handshake_ok: bool = False
+    handshake_attempts: int = 0
+    packets_sent: int = 0
+    packets_acked: int = 0
+    ect0_echoed: int = 0
+    ect1_echoed: int = 0
+    ce_echoed: int = 0
 
 
 @dataclass(slots=True)
@@ -40,6 +59,8 @@ class ProbeOutcome:
     ecn_negotiated: bool = False
     #: HTTP status of the plain fetch (None if no response).
     http_status: int | None = None
+    #: QUIC ECN validation result (None when the probe family is off).
+    quic: QUICProbeOutcome | None = None
 
     @property
     def udp_differential_plain_only(self) -> bool:
@@ -195,8 +216,14 @@ class TraceSet:
 
 
 def _outcome_to_row(outcome: ProbeOutcome) -> list:
-    """Compact row encoding keeps 210x2500 outcomes manageable."""
-    return [
+    """Compact row encoding keeps 210x2500 outcomes manageable.
+
+    The base row is nine elements; a QUIC measurement appends eight
+    more.  Append-only: legacy archives (and the golden studies pinned
+    in ``tests/data/``) decode unchanged, and QUIC-off studies encode
+    byte-identically to pre-QUIC ones.
+    """
+    row = [
         outcome.server_addr,
         int(outcome.udp_plain),
         int(outcome.udp_ect),
@@ -207,9 +234,36 @@ def _outcome_to_row(outcome: ProbeOutcome) -> list:
         int(outcome.ecn_negotiated),
         outcome.http_status if outcome.http_status is not None else -1,
     ]
+    quic = outcome.quic
+    if quic is not None:
+        row.extend(
+            [
+                QUIC_STATES.index(quic.state),
+                int(quic.handshake_ok),
+                quic.handshake_attempts,
+                quic.packets_sent,
+                quic.packets_acked,
+                quic.ect0_echoed,
+                quic.ect1_echoed,
+                quic.ce_echoed,
+            ]
+        )
+    return row
 
 
 def _outcome_from_row(row: list) -> ProbeOutcome:
+    quic = None
+    if len(row) > 9:
+        quic = QUICProbeOutcome(
+            state=QUIC_STATES[row[9]],
+            handshake_ok=bool(row[10]),
+            handshake_attempts=row[11],
+            packets_sent=row[12],
+            packets_acked=row[13],
+            ect0_echoed=row[14],
+            ect1_echoed=row[15],
+            ce_echoed=row[16],
+        )
     return ProbeOutcome(
         server_addr=row[0],
         udp_plain=bool(row[1]),
@@ -220,6 +274,7 @@ def _outcome_from_row(row: list) -> ProbeOutcome:
         tcp_ecn=bool(row[6]),
         ecn_negotiated=bool(row[7]),
         http_status=row[8] if row[8] >= 0 else None,
+        quic=quic,
     )
 
 

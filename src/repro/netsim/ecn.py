@@ -68,9 +68,16 @@ def dscp_from_tos(tos: int) -> int:
 
 
 def tos_byte(dscp: int = 0, ecn: ECN = ECN.NOT_ECT) -> int:
-    """Compose a TOS byte from a DSCP value and an ECN codepoint."""
+    """Compose a TOS byte from a DSCP value and an ECN codepoint.
+
+    Both arguments are range-checked: a raw int outside 0–3 passed as
+    ``ecn`` would otherwise smear into the DSCP bits and silently
+    change the packet's traffic class.
+    """
     if not 0 <= dscp <= 0x3F:
         raise ValueError(f"DSCP out of range: {dscp!r}")
+    if not 0 <= int(ecn) <= 0b11:
+        raise ValueError(f"ECN codepoint out of range: {ecn!r}")
     return (dscp << 2) | int(ecn)
 
 

@@ -6,7 +6,12 @@ paper is a small policy object attached to a router:
 
 * :class:`ECTBleacher` — rewrites ECT(0)/ECT(1) back to not-ECT but
   forwards the packet.  Section 4.2 finds ~1143 of 155 439 hops doing
-  this, 125 of them only *sometimes* (``probability < 1``).
+  this, 125 of them only *sometimes* (``probability < 1``).  By
+  default it also bleaches CE → not-ECT (``bleach_ce=True``) —
+  destroying the congestion signal itself, the exact event QUIC's
+  §13.4 count validation exists to detect; set ``bleach_ce=False``
+  for gear that only normalises ECT capability bits and lets CE
+  through.
 * :class:`ECTDropper` — silently discards ECT-marked packets, for UDP
   only or for all protocols.  Section 4.1's dozen persistently
   ECT-unreachable servers sit behind UDP-scoped instances; Section 4.4
@@ -92,12 +97,21 @@ class Middlebox:
 
 @dataclass
 class ECTBleacher(Middlebox):
-    """Rewrite ECT(0)/ECT(1)/CE to not-ECT; forward the packet."""
+    """Rewrite ECT(0)/ECT(1) to not-ECT; forward the packet.
+
+    ``bleach_ce`` controls what happens to CE-marked packets: True
+    (the default, matching the golden-pinned behaviour) erases the
+    congestion signal too; False forwards CE untouched, modelling
+    middleboxes that only strip the capability codepoints.
+    """
 
     name: str = "ect-bleacher"
+    bleach_ce: bool = True
 
     def apply(self, packet: IPv4Packet) -> Verdict:
         if packet.ecn is ECN.NOT_ECT:
+            return Verdict(FORWARD, packet)
+        if packet.ecn is ECN.CE and not self.bleach_ce:
             return Verdict(FORWARD, packet)
         return Verdict(
             FORWARD,

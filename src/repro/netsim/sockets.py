@@ -95,8 +95,12 @@ class UDPSocket:
             payload=wire,
             ttl=ttl,
             # Inline tos_byte for the in-range case; the helper keeps
-            # the range check (and its error message) for bad DSCP.
-            tos=((dscp << 2) | ecn) if 0 <= dscp <= 0x3F else tos_byte(dscp, ecn),
+            # the range checks (and error messages) for bad DSCP/ECN.
+            tos=(
+                ((dscp << 2) | ecn)
+                if 0 <= dscp <= 0x3F and 0 <= ecn <= 0b11
+                else tos_byte(dscp, ecn)
+            ),
             ident=ident,
         )
         self.host.send_ip(packet)

@@ -1,0 +1,57 @@
+"""QUIC-like transport: codec, server, ECN probe, §13.4 validation."""
+
+from .connection import (
+    DEFAULT_FALLBACK_ATTEMPTS,
+    DEFAULT_HANDSHAKE_ATTEMPTS,
+    DEFAULT_PACKETS,
+    DEFAULT_PACKET_GAP,
+    DEFAULT_TIMEOUT,
+    QUICProbe,
+    QUICProbeResult,
+    probe_server,
+)
+from .packet import (
+    CLIENT_HELLO,
+    FRAME_ACK_ECN,
+    FRAME_CRYPTO,
+    FRAME_PING,
+    QUIC_PORT,
+    SERVER_HELLO,
+    TYPE_INITIAL,
+    TYPE_ONE_RTT,
+    AckEcnFrame,
+    CryptoFrame,
+    PingFrame,
+    QUICPacket,
+)
+from .server import ConnectionState, QUICServer
+from .validation import ECN_USABLE_STATES, QUIC_STATES, classify_probe, ecn_usable
+
+__all__ = [
+    "AckEcnFrame",
+    "CLIENT_HELLO",
+    "ConnectionState",
+    "CryptoFrame",
+    "DEFAULT_FALLBACK_ATTEMPTS",
+    "DEFAULT_HANDSHAKE_ATTEMPTS",
+    "DEFAULT_PACKETS",
+    "DEFAULT_PACKET_GAP",
+    "DEFAULT_TIMEOUT",
+    "ECN_USABLE_STATES",
+    "FRAME_ACK_ECN",
+    "FRAME_CRYPTO",
+    "FRAME_PING",
+    "PingFrame",
+    "QUICPacket",
+    "QUICProbe",
+    "QUICProbeResult",
+    "QUICServer",
+    "QUIC_PORT",
+    "QUIC_STATES",
+    "SERVER_HELLO",
+    "TYPE_INITIAL",
+    "TYPE_ONE_RTT",
+    "classify_probe",
+    "ecn_usable",
+    "probe_server",
+]

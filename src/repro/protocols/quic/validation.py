@@ -1,0 +1,66 @@
+"""RFC 9000 §13.4 ECN validation: classify a probe's echoed counts.
+
+QUIC endpoints validate ECN by comparing the ECT(0)/ECT(1)/CE counts
+echoed in ACK_ECN frames against the packets they actually sent, and
+disable ECN when the path proves hostile.  The classifier distils that
+state machine into one terminal state per probe:
+
+``valid``
+    The handshake completed on ECT(0) and every acknowledged packet
+    was counted as ECT(0) or CE — ECN survives this path (CE means a
+    congestion signal arrived intact, which *passes* validation).
+``bleached``
+    Packets arrived, but fewer ECN marks than acknowledged packets
+    were counted: a middlebox zeroed the field in flight.  ECN must be
+    disabled, yet a reachability-only probe would call this path fine.
+``remarked``
+    ECT(1) counts appeared for ECT(0)-marked traffic: something
+    rewrote the codepoint.  Validation fails (RFC 9000 §13.4.2.1).
+``inconsistent``
+    The counts are impossible — more marks than packets, or more
+    packets acknowledged than sent.  Broken feedback; disable ECN.
+``blackhole``
+    The ECT(0) handshake died but a not-ECT handshake succeeded: the
+    path (or server policy) drops ECT-marked UDP outright.  This is
+    the failure mode the raw-UDP differential probe detects.
+``unreachable``
+    Neither handshake got a response; nothing can be said about ECN.
+"""
+
+from __future__ import annotations
+
+from .connection import QUICProbeResult
+
+#: Terminal validation states, in report order.  Index positions are
+#: part of the trace wire format (see ``repro.core.traces``) — append
+#: only.
+QUIC_STATES = (
+    "valid",
+    "bleached",
+    "remarked",
+    "inconsistent",
+    "blackhole",
+    "unreachable",
+)
+
+#: States in which an RFC 9000 endpoint keeps ECN enabled.
+ECN_USABLE_STATES = frozenset({"valid"})
+
+
+def classify_probe(result: QUICProbeResult) -> str:
+    """Map a raw probe result to its terminal validation state."""
+    if not result.handshake_ok:
+        return "blackhole" if result.fallback_ok else "unreachable"
+    marked = result.ect0_echoed + result.ect1_echoed + result.ce_echoed
+    if result.packets_acked > result.packets_sent or marked > result.packets_acked:
+        return "inconsistent"
+    if result.ect1_echoed > 0:
+        return "remarked"
+    if marked < result.packets_acked:
+        return "bleached"
+    return "valid"
+
+
+def ecn_usable(state: str) -> bool:
+    """True if an RFC 9000 endpoint would keep ECN enabled."""
+    return state in ECN_USABLE_STATES

@@ -18,6 +18,7 @@ from .report import (
     render_figure4,
     render_figure5,
     render_figure6,
+    render_quic_table,
     render_table1,
     render_table2,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "render_figure4",
     "render_figure5",
     "render_figure6",
+    "render_quic_table",
     "render_regional",
     "render_table",
     "render_table1",

@@ -14,6 +14,7 @@ from pathlib import Path
 from ..core.analysis.correlation import CorrelationTable
 from ..core.analysis.geographic import GeographicDistribution
 from ..core.analysis.pathanalysis import PathAnalysis
+from ..core.analysis.quic_ecn import QUICECNSummary
 from ..core.analysis.reachability import ReachabilitySummary
 from ..core.analysis.tcp_ecn import TCPECNSummary
 from ..core.traces import TraceSet
@@ -27,8 +28,14 @@ def export_summary_json(
     tcp: TCPECNSummary,
     paths: PathAnalysis,
     correlation: CorrelationTable,
+    quic: QUICECNSummary | None = None,
 ) -> dict:
-    """Write the headline numbers of every experiment; returns the dict."""
+    """Write the headline numbers of every experiment; returns the dict.
+
+    ``quic`` adds a ``quic_validation`` key when the study ran the
+    QUIC probe family; the default ``None`` leaves the legacy payload
+    byte-identical.
+    """
     fraction, boundary, determinate = paths.boundary_strip_fraction()
     payload = {
         "table1": {
@@ -70,6 +77,25 @@ def export_summary_json(
             for row in correlation.rows
         ],
     }
+    if quic is not None:
+        payload["quic_validation"] = {
+            "total_probes": quic.total,
+            "pct_ecn_usable": quic.pct_ecn_usable,
+            "pct_bleached": quic.pct_bleached,
+            "pct_blackholed": quic.pct_blackholed,
+            "bleaching_dominates": quic.bleaching_dominates,
+            "states": [
+                {
+                    "state": row.state,
+                    "observations": row.observations,
+                    "pct_of_total": row.pct_of_total,
+                    "raw_ect_reachable_pct": row.raw_ect_reachable_pct,
+                    "raw_plain_reachable_pct": row.raw_plain_reachable_pct,
+                    "servers_dominant": row.servers_dominant,
+                }
+                for row in quic.rows
+            ],
+        }
     atomic_write_text(path, json.dumps(payload, indent=2))
     return payload
 
@@ -171,44 +197,77 @@ def export_spans_json(path: str | Path, spans: list[dict]) -> dict:
 def export_traces_csv(path: str | Path, trace_set: TraceSet) -> int:
     """Flatten a trace set to CSV (one row per server per trace).
 
-    Returns the number of data rows written.
+    When any outcome carries QUIC validation data, eight ``quic_*``
+    columns are appended to the header and every row (blank for
+    outcomes without the probe); a legacy trace set writes the legacy
+    twelve-column file byte for byte.  Returns the number of data rows
+    written.
     """
+    has_quic = any(
+        outcome.quic is not None
+        for trace in trace_set
+        for outcome in trace.outcomes.values()
+    )
     rows = 0
     with atomic_open(path, newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(
-            (
-                "trace_id",
-                "vantage",
-                "batch",
-                "server_addr",
-                "udp_plain",
-                "udp_ect",
-                "udp_plain_attempts",
-                "udp_ect_attempts",
-                "tcp_plain",
-                "tcp_ecn",
-                "ecn_negotiated",
-                "http_status",
-            )
-        )
+        header = [
+            "trace_id",
+            "vantage",
+            "batch",
+            "server_addr",
+            "udp_plain",
+            "udp_ect",
+            "udp_plain_attempts",
+            "udp_ect_attempts",
+            "tcp_plain",
+            "tcp_ecn",
+            "ecn_negotiated",
+            "http_status",
+        ]
+        if has_quic:
+            header += [
+                "quic_state",
+                "quic_handshake_ok",
+                "quic_handshake_attempts",
+                "quic_packets_sent",
+                "quic_packets_acked",
+                "quic_ect0_echoed",
+                "quic_ect1_echoed",
+                "quic_ce_echoed",
+            ]
+        writer.writerow(header)
         for trace in trace_set:
             for outcome in trace.outcomes.values():
-                writer.writerow(
-                    (
-                        trace.trace_id,
-                        trace.vantage_key,
-                        trace.batch,
-                        outcome.server_addr,
-                        int(outcome.udp_plain),
-                        int(outcome.udp_ect),
-                        outcome.udp_plain_attempts,
-                        outcome.udp_ect_attempts,
-                        int(outcome.tcp_plain),
-                        int(outcome.tcp_ecn),
-                        int(outcome.ecn_negotiated),
-                        outcome.http_status if outcome.http_status is not None else "",
-                    )
-                )
+                row = [
+                    trace.trace_id,
+                    trace.vantage_key,
+                    trace.batch,
+                    outcome.server_addr,
+                    int(outcome.udp_plain),
+                    int(outcome.udp_ect),
+                    outcome.udp_plain_attempts,
+                    outcome.udp_ect_attempts,
+                    int(outcome.tcp_plain),
+                    int(outcome.tcp_ecn),
+                    int(outcome.ecn_negotiated),
+                    outcome.http_status if outcome.http_status is not None else "",
+                ]
+                if has_quic:
+                    quic = outcome.quic
+                    if quic is not None:
+                        row += [
+                            quic.state,
+                            int(quic.handshake_ok),
+                            quic.handshake_attempts,
+                            quic.packets_sent,
+                            quic.packets_acked,
+                            quic.ect0_echoed,
+                            quic.ect1_echoed,
+                            quic.ce_echoed,
+                        ]
+                    else:
+                        row += [""] * 8
+                writer.writerow(row)
                 rows += 1
     return rows

@@ -118,6 +118,7 @@ def run_study_parallel(
     flight_dir: str | Path | None = None,
     profile_dir: str | Path | None = None,
     pool: SharedWorkerPool | None = None,
+    quic: bool = False,
 ) -> tuple[TraceSet, TracerouteCampaign]:
     """Execute a full study as parallel shards and merge the results.
 
@@ -163,6 +164,10 @@ def run_study_parallel(
     (gang retry after a hang or pool loss, retry-budget exhaustion) or
     a :class:`ProgressOverflowError`.  ``profile_dir`` captures one
     cProfile stats file per shard execution.
+
+    ``quic`` turns on the QUIC ECN-validation probe family in every
+    shard's measurement application; it rides in the
+    :class:`ShardJob` without joining the worker world-cache key.
     """
     if world is None:
         world = SyntheticInternet(params_for_scale(scale, seed))
@@ -189,6 +194,7 @@ def run_study_parallel(
             span_detail=span_detail,
             flight_dir=flight_path,
             profile_dir=profile_path,
+            quic=quic,
         )
         for shard in shards
     ]

@@ -21,10 +21,11 @@ from typing import Iterable, Sequence
 from ..core.traces import (
     HopObservation,
     PathTrace,
-    ProbeOutcome,
     Trace,
     TraceSet,
     TracerouteCampaign,
+    _outcome_from_row,
+    _outcome_to_row,
 )
 
 #: Wire-format tag carried by every shard result.
@@ -39,26 +40,18 @@ class MergeError(ValueError):
 # Trace codec
 # ----------------------------------------------------------------------
 def encode_trace(trace: Trace) -> dict:
-    """Trace -> wire dict (outcome rows mirror the archival format)."""
+    """Trace -> wire dict (outcome rows *are* the archival row format).
+
+    Sharing the archival row codec keeps the two encodings in lockstep:
+    the QUIC extension (rows grow from 9 to 17 elements when the probe
+    family runs) lives in one place, ``repro.core.traces``.
+    """
     return {
         "trace_id": trace.trace_id,
         "vantage_key": trace.vantage_key,
         "batch": trace.batch,
         "started_at": trace.started_at,
-        "outcomes": [
-            [
-                outcome.server_addr,
-                int(outcome.udp_plain),
-                int(outcome.udp_ect),
-                outcome.udp_plain_attempts,
-                outcome.udp_ect_attempts,
-                int(outcome.tcp_plain),
-                int(outcome.tcp_ecn),
-                int(outcome.ecn_negotiated),
-                outcome.http_status if outcome.http_status is not None else -1,
-            ]
-            for outcome in trace.outcomes.values()
-        ],
+        "outcomes": [_outcome_to_row(o) for o in trace.outcomes.values()],
     }
 
 
@@ -71,19 +64,7 @@ def decode_trace(data: dict) -> Trace:
         started_at=data["started_at"],
     )
     for row in data["outcomes"]:
-        trace.add(
-            ProbeOutcome(
-                server_addr=row[0],
-                udp_plain=bool(row[1]),
-                udp_ect=bool(row[2]),
-                udp_plain_attempts=row[3],
-                udp_ect_attempts=row[4],
-                tcp_plain=bool(row[5]),
-                tcp_ecn=bool(row[6]),
-                ecn_negotiated=bool(row[7]),
-                http_status=row[8] if row[8] >= 0 else None,
-            )
-        )
+        trace.add(_outcome_from_row(row))
     return trace
 
 

@@ -88,6 +88,10 @@ class ShardJob:
     flight_dir: str | None = None
     #: Directory for per-shard cProfile dumps; ``None`` disables.
     profile_dir: str | None = None
+    #: Run the QUIC ECN-validation probe family after the paper's four
+    #: measurements.  Deliberately *not* part of the world-cache key:
+    #: QUIC servers are always deployed, only the probing app changes.
+    quic: bool = False
 
 
 #: Per-process world cache: building a synthetic Internet dominates
@@ -216,7 +220,7 @@ def _execute_shard(job: ShardJob, flight: FlightRecorder | None) -> dict:
             f"(attempt {job.attempt})"
         )
     world = _world_for(job.scale, job.seed, job.fault_plan)
-    app = MeasurementApplication(world, targets=list(job.targets))
+    app = MeasurementApplication(world, targets=list(job.targets), quic=job.quic)
     shard = job.shard
     result: dict = {
         "format": WIRE_FORMAT,

@@ -35,6 +35,7 @@ from ..protocols.dns.server import DNSServer, RoundRobinZone
 from ..protocols.http.server import PoolWebServer
 from ..protocols.ntp.pool import NTPPool, PoolMember
 from ..protocols.ntp.server import NTPServer
+from ..protocols.quic.server import QUICServer
 from ..tcp.connection import ECNServerPolicy, TCPStack
 from .deployment import (
     AddressAllocator,
@@ -98,6 +99,7 @@ class ServerInfo:
     country: Country | None
     host: Host = field(repr=False, default=None)  # type: ignore[assignment]
     ntp: NTPServer = field(repr=False, default=None)  # type: ignore[assignment]
+    quic: QUICServer = field(repr=False, default=None)  # type: ignore[assignment]
     web: PoolWebServer | None = field(repr=False, default=None)
     web_policy: ECNServerPolicy | None = None
 
@@ -606,6 +608,11 @@ class SyntheticInternet:
         truth = self.ground_truth
         for server in self.servers:
             server.ntp = NTPServer(server.host)
+            # QUIC endpoints are always deployed: binding UDP 443 draws
+            # no randomness and no legacy probe targets the port, so
+            # worlds with and without the QUIC probe family stay
+            # bit-identical (the flag lives on the measurement app).
+            server.quic = QUICServer(server.host)
 
         # Special UDP-ECT-blocked servers get deliberate web behaviour:
         # most negotiate ECN over TCP (§4.4's middleboxes discriminate
@@ -670,7 +677,10 @@ class SyntheticInternet:
             else self.ground_truth.offline_batch2
         )
         for server in self.servers:
-            server.ntp.set_online(server.addr not in offline)
+            online = server.addr not in offline
+            server.ntp.set_online(online)
+            # A dark volunteer host is dark for every daemon it runs.
+            server.quic.set_online(online)
 
     def begin_epoch(self, index: int) -> None:
         """Enter measurement epoch ``index``: the hermetic reset.
@@ -705,6 +715,11 @@ class SyntheticInternet:
             if link is not None:
                 link.loss.reset()
                 link.aqm.reset()
+        for server in self.servers:
+            # QUIC connection state is evolved state the per-host reset
+            # above doesn't cover (it lives in the daemon, not the
+            # host); clearing it draws no randomness.
+            server.quic.reset_connections()
         if self.fault_injector is not None:
             # After the pristine reset: revert the previous epoch's
             # impairments and install this epoch's.  Installation draws

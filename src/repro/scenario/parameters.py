@@ -146,6 +146,19 @@ class ProbeParams:
     traceroute_timeout: float = 1.0
     #: Consecutive silent TTLs after which a traceroute gives up.
     traceroute_silent_limit: int = 4
+    #: QUIC ECN-validation probe (RFC 9000 §13.4): 1-RTT PINGs sent
+    #: after the handshake, all ECT(0)-marked.
+    quic_packets: int = 8
+    #: ECT(0)-marked Initial transmissions before falling back — the
+    #: paper's 5-transmission UDP probe policy, so a lossy gateway is
+    #: given the same chance it gets in the raw reachability probe.
+    quic_handshake_attempts: int = 5
+    #: Not-ECT Initial attempts distinguishing blackhole from dead.
+    quic_fallback_attempts: int = 2
+    #: Handshake retransmission timer and post-burst ACK drain time.
+    quic_timeout: float = 1.0
+    #: Pacing gap between 1-RTT PINGs.
+    quic_packet_gap: float = 0.02
 
 
 @dataclass(frozen=True)

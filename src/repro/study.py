@@ -25,6 +25,7 @@ from .core.analysis.correlation import CorrelationTable, analyze_correlation
 from .core.analysis.differential import DifferentialAnalysis
 from .core.analysis.geographic import GeographicDistribution, analyze_geography
 from .core.analysis.pathanalysis import PathAnalysis, analyze_campaign
+from .core.analysis.quic_ecn import QUICECNSummary, analyze_quic_ecn
 from .core.analysis.reachability import ReachabilitySummary, analyze_reachability
 from .core.analysis.regional import RegionalReachability, analyze_regional
 from .core.analysis.tcp_ecn import TCPECNSummary, analyze_tcp_ecn
@@ -98,6 +99,7 @@ class Study:
         world: SyntheticInternet | None = None,
         targets: list[int] | None = None,
         pool=None,
+        quic: bool = False,
     ) -> "Study":
         """Execute the full §3 methodology at the given scale.
 
@@ -144,6 +146,13 @@ class Study:
         (sharded runs dump ``flight-*.json`` there on worker death or
         runner recovery) and receives cProfile dumps when ``profile``
         is on.
+
+        ``quic=True`` adds the fourth probe family: a QUIC-like
+        connection per server performing RFC 9000 §13.4 ECN count
+        validation after the paper's four measurements (see
+        :attr:`quic_ecn` for the resulting analysis).  The probe runs
+        after the legacy phases inside each epoch, so studies with
+        ``quic=False`` remain byte-identical to pre-QUIC archives.
         """
         span_detail: str | None = None
         if record_spans:
@@ -203,6 +212,7 @@ class Study:
                 flight_dir=obs_dir,
                 profile_dir=obs_dir if profile else None,
                 pool=pool,
+                quic=quic,
             )
             if span_detail is not None:
                 span_list = span_sink
@@ -242,7 +252,7 @@ class Study:
             if profiler is not None:
                 profiler.enable()
             try:
-                app = MeasurementApplication(world, targets=targets)
+                app = MeasurementApplication(world, targets=targets, quic=quic)
                 traces = app.run_study(progress=progress)
                 campaign = (
                     app.run_traceroutes(progress=progress)
@@ -332,6 +342,16 @@ class Study:
         return self._cached("corr", lambda: analyze_correlation(self.traces))
 
     @property
+    def quic_ecn(self) -> QUICECNSummary:
+        """QUIC §13.4 validation outcomes vs raw-UDP reachability.
+
+        Empty (``total == 0``) when the study ran without the QUIC
+        probe family; report/save skip the section then, keeping
+        legacy artefacts byte-identical.
+        """
+        return self._cached("quic", lambda: analyze_quic_ecn(self.traces))
+
+    @property
     def regional(self) -> list[RegionalReachability]:
         return self._cached(
             "regional", lambda: analyze_regional(self.traces, self.world.geo)
@@ -350,6 +370,7 @@ class Study:
     # ------------------------------------------------------------------
     def report(self) -> str:
         """Every table and figure, as text, in the paper's order."""
+        quic = self.quic_ecn
         return full_report(
             self.geography,
             self.reachability,
@@ -359,6 +380,7 @@ class Study:
             self.campaign,
             self.paths,
             self.correlation,
+            quic=quic if quic.total else None,
         )
 
     def save(self, directory: str | Path, run_id: str | None = None) -> Path:
@@ -387,6 +409,7 @@ class Study:
         atomic_write_text(directory / "manifest.json", json.dumps(manifest))
         self.traces.save(directory / "traces.json")
         self.campaign.save(directory / "traceroutes.json")
+        quic = self.quic_ecn
         export_summary_json(
             directory / "summary.json",
             self.geography,
@@ -394,6 +417,7 @@ class Study:
             self.tcp_ecn,
             self.paths,
             self.correlation,
+            quic=quic if quic.total else None,
         )
         export_traces_csv(directory / "traces.csv", self.traces)
         # Observability artefacts are written only when observation was

@@ -1,0 +1,96 @@
+"""Unit tests for the QUIC validation-vs-reachability analysis."""
+
+from repro.core.analysis.quic_ecn import analyze_quic_ecn
+from repro.core.traces import ProbeOutcome, QUICProbeOutcome, Trace, TraceSet
+
+
+def outcome(addr, state=None, plain=True, ect=True):
+    result = ProbeOutcome(
+        server_addr=addr,
+        udp_plain=plain,
+        udp_ect=ect,
+        udp_plain_attempts=1,
+        udp_ect_attempts=1,
+        tcp_plain=False,
+        tcp_ecn=False,
+        ecn_negotiated=False,
+        http_status=None,
+    )
+    if state is not None:
+        result.quic = QUICProbeOutcome(state=state)
+    return result
+
+
+def trace_set(*traces):
+    ts = TraceSet(server_addrs=[1, 2, 3], description="unit test")
+    ts.extend(traces)
+    return ts
+
+
+def trace(trace_id, *outcomes):
+    t = Trace(trace_id=trace_id, vantage_key="a", batch=1, started_at=0.0)
+    for o in outcomes:
+        t.add(o)
+    return t
+
+
+class TestAnalyzeQuicEcn:
+    def test_empty_without_quic_family(self):
+        summary = analyze_quic_ecn(trace_set(trace(0, outcome(1), outcome(2))))
+        assert summary.total == 0
+        assert summary.pct_ecn_usable == 0.0
+        assert not summary.bleaching_dominates
+        assert summary.dominant_state == {}
+
+    def test_crosstab_against_raw_reachability(self):
+        ts = trace_set(
+            trace(
+                0,
+                outcome(1, "valid", ect=True),
+                outcome(2, "bleached", ect=True),
+                outcome(3, "blackhole", ect=False),
+            ),
+            trace(
+                1,
+                outcome(1, "valid", ect=True),
+                outcome(2, "bleached", ect=True),
+                outcome(3, "blackhole", ect=False),
+            ),
+        )
+        summary = analyze_quic_ecn(ts)
+        assert summary.total == 6
+        assert summary.count("valid") == 2
+        bleached = summary.row("bleached")
+        assert bleached.observations == 2
+        assert bleached.raw_ect_reachable_pct == 100.0
+        blackhole = summary.row("blackhole")
+        assert blackhole.raw_ect_reachable_pct == 0.0
+        assert blackhole.raw_plain_reachable_pct == 100.0
+        assert summary.row("remarked").raw_ect_reachable_pct is None
+
+    def test_dominant_state_per_server(self):
+        ts = trace_set(
+            trace(0, outcome(1, "bleached"), outcome(2, "valid")),
+            trace(1, outcome(1, "bleached"), outcome(2, "blackhole")),
+            trace(2, outcome(1, "valid"), outcome(2, "valid")),
+        )
+        summary = analyze_quic_ecn(ts)
+        assert summary.dominant_state == {1: "bleached", 2: "valid"}
+        assert summary.row("bleached").servers_dominant == 1
+        assert summary.row("valid").servers_dominant == 1
+
+    def test_dominance_and_usable_percentages(self):
+        ts = trace_set(
+            trace(
+                0,
+                outcome(1, "valid"),
+                outcome(2, "bleached"),
+                outcome(3, "bleached"),
+            ),
+            trace(1, outcome(1, "blackhole")),
+        )
+        summary = analyze_quic_ecn(ts)
+        assert summary.bleaching_dominates
+        assert summary.pct_bleached == 50.0
+        assert summary.pct_blackholed == 25.0
+        assert summary.pct_ecn_usable == 25.0

@@ -6,9 +6,12 @@ from repro.core.traces import (
     HopObservation,
     PathTrace,
     ProbeOutcome,
+    QUICProbeOutcome,
     Trace,
     TraceSet,
     TracerouteCampaign,
+    _outcome_from_row,
+    _outcome_to_row,
 )
 from repro.netsim.ecn import ECN
 
@@ -101,6 +104,38 @@ class TestTraceSetRoundtrip:
     def test_unknown_format_rejected(self):
         with pytest.raises(ValueError):
             TraceSet.from_dict({"format": "bogus"})
+
+    def test_quic_outcome_roundtrip(self, tmp_path):
+        """The append-only row extension (9 -> 17 elements) survives
+        the archival JSON codec with full fidelity."""
+        ts = self._trace_set()
+        quic = QUICProbeOutcome(
+            state="bleached",
+            handshake_ok=True,
+            handshake_attempts=1,
+            packets_sent=9,
+            packets_acked=8,
+            ect0_echoed=2,
+            ect1_echoed=0,
+            ce_echoed=1,
+        )
+        ts.traces[0].outcome_for(1).quic = quic
+        path = tmp_path / "quic-traces.json"
+        ts.save(path)
+        loaded = TraceSet.load(path)
+        assert loaded.traces[0].outcome_for(1).quic == quic
+        assert loaded.traces[0].outcome_for(2).quic is None
+        assert loaded.traces[1].outcome_for(1).quic is None
+
+    def test_row_codec_length_is_append_only(self):
+        legacy = outcome(1, tcp=True, ecn_neg=True, status=200)
+        assert len(_outcome_to_row(legacy)) == 9
+        legacy.quic = QUICProbeOutcome(state="valid")
+        row = _outcome_to_row(legacy)
+        assert len(row) == 17
+        assert _outcome_from_row(row) == legacy
+        # Legacy 9-element rows (pre-QUIC archives) still decode.
+        assert _outcome_from_row(row[:9]).quic is None
 
     def test_by_vantage(self):
         ts = self._trace_set()

@@ -48,6 +48,20 @@ class TestTOSComposition:
         with pytest.raises(ValueError):
             tos_byte(dscp=64)
 
+    def test_ecn_out_of_range(self):
+        """Regression: ecn was silently OR-ed in, corrupting DSCP bits.
+
+        ``tos_byte(ecn=4)`` used to produce 0b100 — leaking into the
+        DSCP field — instead of rejecting the value like dscp does.
+        """
+        for bad in (-1, 4, 7, 256):
+            with pytest.raises(ValueError):
+                tos_byte(ecn=bad)
+
+    def test_ecn_boundary_values_accepted(self):
+        assert tos_byte(ecn=0) == 0
+        assert tos_byte(ecn=0b11) == 0b11
+
     def test_replace_ecn_preserves_dscp(self):
         tos = tos_byte(dscp=0b001011, ecn=ECN.ECT_0)
         cleared = replace_ecn(tos, ECN.NOT_ECT)

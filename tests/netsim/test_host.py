@@ -83,6 +83,22 @@ class TestECNMarking:
         net.scheduler.run()
         assert seen == [ECN.ECT_0, ECN.NOT_ECT]
 
+    def test_send_rejects_out_of_range_ecn(self, two_host_net):
+        """Regression: the inline TOS fast path must not let a bad ecn
+        value bypass tos_byte's range check."""
+        _, client, server = two_host_net
+        sock = client.udp_bind(None)
+        with pytest.raises(ValueError):
+            sock.send(server.addr, 123, b"x", ecn=4)
+        with pytest.raises(ValueError):
+            sock.send(server.addr, 123, b"x", ecn=-1)
+
+    def test_send_rejects_out_of_range_dscp(self, two_host_net):
+        _, client, server = two_host_net
+        sock = client.udp_bind(None)
+        with pytest.raises(ValueError):
+            sock.send(server.addr, 123, b"x", dscp=64)
+
 
 class TestTaps:
     def test_taps_see_both_directions(self, two_host_net):

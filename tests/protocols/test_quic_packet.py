@@ -1,0 +1,93 @@
+"""Tests for the minimal QUIC packet/frame codec."""
+
+import pytest
+
+from repro.netsim.errors import CodecError
+from repro.protocols.quic.packet import (
+    CLIENT_HELLO,
+    SERVER_HELLO,
+    TYPE_INITIAL,
+    TYPE_ONE_RTT,
+    AckEcnFrame,
+    CryptoFrame,
+    PingFrame,
+    QUICPacket,
+)
+
+
+def initial(cid=7, pn=0):
+    return QUICPacket(
+        ptype=TYPE_INITIAL,
+        cid=cid,
+        packet_number=pn,
+        frames=[CryptoFrame(CLIENT_HELLO)],
+    )
+
+
+class TestCodec:
+    def test_initial_roundtrip(self):
+        packet = initial()
+        assert QUICPacket.decode(packet.encode()) == packet
+
+    def test_one_rtt_roundtrip_with_all_frame_types(self):
+        packet = QUICPacket(
+            ptype=TYPE_ONE_RTT,
+            cid=99,
+            packet_number=12,
+            frames=[
+                PingFrame(),
+                AckEcnFrame(
+                    largest_acked=12,
+                    acked_count=13,
+                    ect0=11,
+                    ect1=1,
+                    ce=1,
+                ),
+                CryptoFrame(SERVER_HELLO),
+            ],
+        )
+        assert QUICPacket.decode(packet.encode()) == packet
+
+    def test_truncated_header_rejected(self):
+        wire = initial().encode()
+        with pytest.raises(CodecError):
+            QUICPacket.decode(wire[:4])
+
+    def test_truncated_frame_rejected(self):
+        wire = QUICPacket(
+            ptype=TYPE_ONE_RTT,
+            cid=1,
+            packet_number=1,
+            frames=[AckEcnFrame(1, 1, 1, 0, 0)],
+        ).encode()
+        with pytest.raises(CodecError):
+            QUICPacket.decode(wire[:-1])
+
+    def test_unknown_packet_type_rejected(self):
+        wire = bytearray(initial().encode())
+        wire[0] = 0x7F
+        with pytest.raises(CodecError):
+            QUICPacket.decode(bytes(wire))
+
+    def test_unknown_frame_type_rejected(self):
+        packet = QUICPacket(ptype=TYPE_ONE_RTT, cid=1, packet_number=1, frames=[])
+        wire = packet.encode() + b"\xee"
+        with pytest.raises(CodecError):
+            QUICPacket.decode(wire)
+
+
+class TestAccessors:
+    def test_first_ack_ecn(self):
+        ack = AckEcnFrame(5, 6, 6, 0, 0)
+        packet = QUICPacket(
+            ptype=TYPE_ONE_RTT,
+            cid=1,
+            packet_number=2,
+            frames=[PingFrame(), ack],
+        )
+        assert packet.first_ack_ecn() == ack
+        assert initial().first_ack_ecn() is None
+
+    def test_has_crypto(self):
+        assert initial().has_crypto(CLIENT_HELLO)
+        assert not initial().has_crypto(SERVER_HELLO)

@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.protocols.dns",
     "repro.protocols.http",
     "repro.protocols.rtp",
+    "repro.protocols.quic",
     "repro.geo",
     "repro.asmap",
     "repro.scenario",

@@ -1,0 +1,130 @@
+"""Study-level tests for the QUIC ECN-validation probe family.
+
+Three contracts:
+
+* **Bit-identity** — a QUIC-enabled study merges from shards to
+  exactly the sequential result, plain and under chaos, like every
+  other probe family.
+* **Ground truth** — §13.4 classification agrees with the deployed
+  middleboxes: udp-ect-blocked servers classify as blackhole, bleached
+  observations stay raw-ECT-reachable (the "bleaching is invisible to
+  reachability probing" headline).
+* **Legacy isolation** — with ``quic=False`` nothing changes: the
+  archived artefacts stay byte-identical to a pre-QUIC build (enforced
+  by ``tests/test_golden_equivalence.py``'s pinned archives) and CSV /
+  report / summary grow sections only when QUIC data is present.
+"""
+
+import json
+
+import pytest
+
+from repro.study import Study
+
+pytestmark = pytest.mark.slow
+
+SCALE = 0.04
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def quic_study():
+    return Study.run(scale=SCALE, seed=SEED, quic=True)
+
+
+@pytest.fixture(scope="module")
+def sharded_quic_study():
+    return Study.run(scale=SCALE, seed=SEED, quic=True, workers=2)
+
+
+def _canonical(study):
+    return json.dumps(
+        {"traces": study.traces.to_dict(), "campaign": study.campaign.to_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+class TestBitIdentity:
+    def test_sharded_quic_study_bit_identical(self, quic_study, sharded_quic_study):
+        assert _canonical(sharded_quic_study) == _canonical(quic_study)
+        assert sharded_quic_study.report() == quic_study.report()
+
+    @pytest.mark.chaos
+    def test_sharded_chaotic_quic_study_bit_identical(self):
+        kwargs = dict(
+            scale=0.02, seed=SEED, quic=True, faults="default", chaos_seed=7
+        )
+        sequential = Study.run(workers=0, **kwargs)
+        sharded = Study.run(workers=2, **kwargs)
+        assert _canonical(sharded) == _canonical(sequential)
+
+
+class TestGroundTruth:
+    def test_every_outcome_has_quic_data(self, quic_study):
+        for trace in quic_study.traces:
+            for outcome in trace.outcomes.values():
+                assert outcome.quic is not None
+
+    def test_udp_ect_blocked_servers_classify_blackhole(self, quic_study):
+        """The paper's ECT-unreachable servers are exactly the ones a
+        QUIC client experiences as an ECN blackhole."""
+        blocked = quic_study.world.ground_truth.udp_ect_blocked
+        assert blocked
+        summary = quic_study.quic_ecn
+        for addr in blocked:
+            assert summary.dominant_state[addr] == "blackhole"
+
+    def test_bleached_paths_remain_raw_reachable(self, quic_study):
+        """Bleaching is invisible to reachability-only probing: probes
+        that QUIC classifies as bleached overwhelmingly still reached
+        the server with raw ECT(0) UDP."""
+        summary = quic_study.quic_ecn
+        bleached = summary.row("bleached")
+        assert bleached.observations > 0
+        assert bleached.raw_ect_reachable_pct > 90.0
+        blackhole = summary.row("blackhole")
+        assert blackhole.observations > 0
+        assert blackhole.raw_ect_reachable_pct < 50.0
+
+    def test_bleaching_dominates_blackholing(self, quic_study):
+        """The sequel papers' finding, reproduced in the synthetic
+        Internet's default middlebox mix."""
+        summary = quic_study.quic_ecn
+        assert summary.bleaching_dominates
+        assert 0.0 < summary.pct_ecn_usable < 100.0
+
+
+class TestArtefacts:
+    def test_save_includes_quic_sections(self, quic_study, tmp_path):
+        out = tmp_path / "quic-study"
+        quic_study.save(out)
+        summary = json.loads((out / "summary.json").read_text())
+        assert summary["quic_validation"]["total_probes"] == quic_study.quic_ecn.total
+        states = {row["state"] for row in summary["quic_validation"]["states"]}
+        assert "bleached" in states and "blackhole" in states
+        header = (out / "traces.csv").read_text().splitlines()[0]
+        assert "quic_state" in header
+        report = (out / "report.txt").read_text()
+        assert "QUIC ECN validation" in report
+
+    def test_archive_roundtrips_quic_outcomes(self, quic_study, tmp_path):
+        out = tmp_path / "roundtrip"
+        quic_study.save(out)
+        loaded = Study.load(out)
+        assert loaded.traces.to_dict() == quic_study.traces.to_dict()
+        reloaded = loaded.quic_ecn
+        original = quic_study.quic_ecn
+        assert reloaded.total == original.total
+        assert reloaded.rows == original.rows
+
+    def test_quic_off_artefacts_have_no_quic_sections(self, tmp_path):
+        study = Study.run(scale=0.02, seed=SEED)
+        out = tmp_path / "legacy"
+        study.save(out)
+        summary = json.loads((out / "summary.json").read_text())
+        assert "quic_validation" not in summary
+        header = (out / "traces.csv").read_text().splitlines()[0]
+        assert "quic" not in header
+        assert "QUIC" not in (out / "report.txt").read_text()
+        assert study.quic_ecn.total == 0
