@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Campaign crash-recovery gate: kill mid-epoch, resume, byte-compare.
+
+The campaign driver's contract is that an interrupted-and-resumed
+campaign converges on an archive **byte-identical** to an uninterrupted
+run — at any epoch boundary or mid-epoch, sharded or not, chaos on or
+off.  This script enforces it the honest way:
+
+1. run ``ecnudp campaign run`` with ``ECNUDP_CAMPAIGN_KILL`` armed so
+   the driver SIGKILLs *itself* mid-epoch (a real process death — no
+   ``finally`` blocks, no atexit, no flushing);
+2. assert the process actually died from SIGKILL;
+3. ``ecnudp campaign resume`` to completion;
+4. run an identical campaign uninterrupted in a second directory;
+5. recursively byte-compare the two archives — every file, including
+   ``campaign.json``, ``checkpoints.jsonl``, ``trend.json``,
+   ``report.txt``, and the full per-epoch study archives.
+
+Exit 0 when identical; exit 1 with a per-file diff listing otherwise.
+The ``campaign-smoke`` CI lane runs this twice: plain, and with a chaos
+profile layered on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import filecmp
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+
+def run_cli(args: list[str], kill: str | None = None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("ECNUDP_CAMPAIGN_KILL", None)
+    if kill is not None:
+        env["ECNUDP_CAMPAIGN_KILL"] = kill
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def compare_trees(left: Path, right: Path) -> list[str]:
+    """Byte-compare two directory trees; returns human-readable diffs."""
+    problems: list[str] = []
+
+    def relative_files(root: Path) -> dict[str, Path]:
+        return {
+            p.relative_to(root).as_posix(): p
+            for p in root.rglob("*")
+            if p.is_file()
+        }
+
+    lhs, rhs = relative_files(left), relative_files(right)
+    for name in sorted(set(lhs) - set(rhs)):
+        problems.append(f"only in {left.name}: {name}")
+    for name in sorted(set(rhs) - set(lhs)):
+        problems.append(f"only in {right.name}: {name}")
+    for name in sorted(set(lhs) & set(rhs)):
+        if not filecmp.cmp(lhs[name], rhs[name], shallow=False):
+            problems.append(f"differs: {name}")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=str, required=True,
+                        help="scratch directory for the two campaign archives")
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker processes per epoch (resume runs "
+                             "sequentially to also cross-check sharding)")
+    parser.add_argument("--chaos", type=str, default=None,
+                        help="layer a chaos profile over every epoch")
+    parser.add_argument("--kill", type=str, default="1:partial",
+                        metavar="EPOCH:PHASE",
+                        help="self-kill point for the interrupted run "
+                             "(default: mid-epoch-2, after the partial "
+                             "save, before publication)")
+    args = parser.parse_args()
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    interrupted = out / "interrupted"
+    control = out / "uninterrupted"
+
+    spec_args = [
+        "--scale", str(args.scale),
+        "--seed", str(args.seed),
+        "--cadence", "3.5",
+    ]
+    if args.chaos:
+        spec_args += ["--chaos", args.chaos]
+
+    print(f"[1/4] campaign run with self-kill at {args.kill} "
+          f"(workers={args.workers})")
+    result = run_cli(
+        ["campaign", "run", "--dir", str(interrupted),
+         "--epochs", str(args.epochs), "--workers", str(args.workers),
+         *spec_args],
+        kill=args.kill,
+    )
+    if result.returncode != -signal.SIGKILL:
+        print(f"FAIL: expected the driver to die from SIGKILL, got "
+              f"returncode {result.returncode}")
+        print(result.stdout)
+        print(result.stderr, file=sys.stderr)
+        return 1
+
+    print("[2/4] campaign resume to completion (sequential)")
+    result = run_cli(["campaign", "resume", "--dir", str(interrupted)])
+    if result.returncode != 0:
+        print(f"FAIL: resume exited {result.returncode}")
+        print(result.stdout)
+        print(result.stderr, file=sys.stderr)
+        return 1
+
+    print("[3/4] uninterrupted control campaign")
+    result = run_cli(
+        ["campaign", "run", "--dir", str(control),
+         "--epochs", str(args.epochs), "--workers", str(args.workers),
+         *spec_args],
+    )
+    if result.returncode != 0:
+        print(f"FAIL: control run exited {result.returncode}")
+        print(result.stdout)
+        print(result.stderr, file=sys.stderr)
+        return 1
+
+    print("[4/4] byte-comparing the two archives")
+    problems = compare_trees(interrupted, control)
+    if problems:
+        print(f"FAIL: archives differ in {len(problems)} place(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    file_count = sum(1 for p in interrupted.rglob("*") if p.is_file())
+    print(f"OK: interrupted+resumed archive is byte-identical to the "
+          f"uninterrupted run ({file_count} files compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,10 +25,33 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.study import Study
+
+
+def write_step_summary(title: str, headers: list[str], rows: list[list[str]]) -> None:
+    """Append a markdown table to the CI job's step summary, if any.
+
+    Same contract as the regression gate's helper: unset
+    ``$GITHUB_STEP_SUMMARY`` (local runs) makes this a no-op.
+    """
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path or not rows:
+        return
+    lines = [
+        f"### {title}",
+        "",
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    with open(summary_path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
 
 
 def best_of(
@@ -108,6 +131,33 @@ def main(argv: list[str] | None = None) -> int:
         )
         failed = True
 
+    write_step_summary(
+        f"Observability overhead (scale={args.scale}, best of {args.runs})",
+        ["configuration", "best (s)", "overhead vs reference", "budget", "verdict"],
+        [
+            [
+                "metrics disabled (reference: enabled)",
+                f"{disabled:.2f}",
+                f"{overhead:+.1%}",
+                f"{args.budget:.0%}",
+                "FAIL" if overhead > args.budget else "ok",
+            ],
+            [
+                "metrics enabled (informational)",
+                f"{enabled:.2f}",
+                f"{enabled / disabled - 1.0:+.1%}",
+                "-",
+                "-",
+            ],
+            [
+                "spans on, epoch detail (reference: spans off)",
+                f"{spans_on:.2f}",
+                f"{span_overhead:+.1%}",
+                f"{args.span_budget:.0%}",
+                "FAIL" if span_overhead > args.span_budget else "ok",
+            ],
+        ],
+    )
     if failed:
         return 1
     print("OK: disabled observability and span recording are within budget")

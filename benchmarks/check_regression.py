@@ -98,14 +98,21 @@ def check(
     baseline: dict,
     tolerance: float,
     stale_tolerance: float = DEFAULT_STALE_TOLERANCE,
-) -> list[str]:
-    """Return a list of failure messages (empty = gate passes)."""
+) -> tuple[list[str], list[list[str]]]:
+    """Gate the current run; returns ``(failures, table rows)``.
+
+    Failures empty = gate passes.  The rows are the per-benchmark
+    deltas (name, baseline units, current units, ratio, verdict) that
+    feed both the stdout log and the CI step summary.
+    """
     failures = []
+    rows: list[list[str]] = []
     base_cal = float(baseline["calibration_seconds"])
     base_marks = baseline["benchmarks"]
     for name, base_seconds in base_marks.items():
         if name not in current:
             failures.append(f"benchmark {name!r} missing from current run")
+            rows.append([name, "-", "-", "-", "MISSING"])
             continue
         base_units = float(base_seconds) / base_cal
         now_units = current[name] / calibration
@@ -116,6 +123,9 @@ def check(
             verdict = "STALE BASELINE"
         else:
             verdict = "ok"
+        rows.append(
+            [name, f"{base_units:.1f}", f"{now_units:.1f}", f"x{ratio:.2f}", verdict]
+        )
         print(
             f"{name}: baseline {base_units:8.1f} units, "
             f"current {now_units:8.1f} units "
@@ -135,7 +145,33 @@ def check(
             )
     for name in sorted(set(current) - set(base_marks)):
         print(f"{name}: not in baseline (informational only)")
-    return failures
+        rows.append(
+            [name, "-", f"{current[name] / calibration:.1f}", "-", "new (no baseline)"]
+        )
+    return failures, rows
+
+
+def write_step_summary(title: str, headers: list[str], rows: list[list[str]]) -> None:
+    """Append a markdown table to the CI job's step summary, if any.
+
+    ``$GITHUB_STEP_SUMMARY`` is the Actions-provided path; locally the
+    variable is unset and this is a no-op, keeping stdout the single
+    source of truth outside CI.
+    """
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not summary_path or not rows:
+        return
+    lines = [
+        f"### {title}",
+        "",
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    lines.append("")
+    with open(summary_path, "a") as handle:
+        handle.write("\n".join(lines) + "\n")
 
 
 def write_baseline(
@@ -202,12 +238,18 @@ def main(argv: list[str] | None = None) -> int:
     if not baseline_path.exists():
         print(f"baseline {baseline_path} missing; run with --update", file=sys.stderr)
         return 2
-    failures = check(
+    failures, rows = check(
         current,
         calibration,
         json.loads(baseline_path.read_text()),
         args.tolerance,
         args.stale_tolerance,
+    )
+    write_step_summary(
+        "Benchmark regression gate "
+        f"(budget x{args.tolerance:.2f}, stale below x{args.stale_tolerance:.2f})",
+        ["benchmark", "baseline (units)", "current (units)", "ratio", "verdict"],
+        rows,
     )
     if failures:
         for failure in failures:

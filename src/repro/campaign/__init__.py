@@ -1,0 +1,42 @@
+"""repro.campaign — longitudinal measurement campaigns.
+
+The paper measured one 2015 snapshot; the 2022 re-measurement (arXiv
+2208.14523) showed how much the answers drift.  This package runs a
+**campaign**: a schedule of recurring studies over a time-parameterised
+scenario (:mod:`repro.scenario.timeline`), one hermetic study per
+simulated year, checkpointed into an append-only on-disk archive that
+survives the driver being killed at any point — resume converges on an
+archive byte-identical to an uninterrupted run.
+
+- :mod:`~repro.campaign.archive` — disk format: manifest, atomic
+  checkpoint log, epoch stores, digests, crash-leftover cleanup
+- :mod:`~repro.campaign.driver` — epoch execution, resume, the
+  self-kill hook the campaign-smoke CI lane uses
+- :mod:`~repro.campaign.report` — trend points, the Figure-6-style
+  trend report, machine-readable status
+"""
+
+from .archive import (
+    CAMPAIGN_FORMAT,
+    TREND_FORMAT,
+    CampaignArchive,
+    CampaignError,
+    CampaignSpec,
+    CheckpointRecord,
+)
+from .driver import KILL_ENV, CampaignDriver
+from .report import campaign_status, render_trend_report, trend_point
+
+__all__ = [
+    "CAMPAIGN_FORMAT",
+    "CampaignArchive",
+    "CampaignDriver",
+    "CampaignError",
+    "CampaignSpec",
+    "CheckpointRecord",
+    "KILL_ENV",
+    "TREND_FORMAT",
+    "campaign_status",
+    "render_trend_report",
+    "trend_point",
+]

@@ -1,0 +1,189 @@
+"""The campaign driver: run epochs, checkpoint, survive being killed.
+
+The driver owns *execution*; :mod:`repro.campaign.archive` owns the
+disk format.  One epoch advances through four atomic steps::
+
+    run study --> save into .epoch-NNNN.partial/ --> os.replace to
+    epoch-NNNN/ --> append checkpoint record --> merge trend point
+
+Kill the process between any two steps and :meth:`CampaignDriver.resume`
+classifies the leftovers exactly (see ``clean_interrupted``), discards
+what never reached a checkpoint, and re-runs it.  Because epoch ``N``
+is a pure function of ``(spec, N)`` — hermetic epochs underneath, the
+drift and world seed derived from the campaign seed — the re-run
+produces byte-identical artefacts, so an interrupted-and-resumed
+campaign's final archive equals an uninterrupted run's, byte for byte.
+The campaign-smoke CI lane (``benchmarks/check_campaign_resume.py``)
+enforces exactly that with a SIGKILL mid-epoch.
+
+For crash testing, ``ECNUDP_CAMPAIGN_KILL="<epoch>:<phase>"`` makes
+the driver SIGKILL *itself* at a named point (``before-save``,
+``partial``, ``renamed``, ``checkpointed``) — a real process death,
+not an exception a ``finally`` could tidy up after.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from pathlib import Path
+
+from ..core.measurement import ProgressFn
+from ..study import Study
+from .archive import CampaignArchive, CampaignError, CampaignSpec, CheckpointRecord
+from .report import render_trend_report
+
+#: Env var arming the self-kill hook: ``"<epoch>:<phase>"``.
+KILL_ENV = "ECNUDP_CAMPAIGN_KILL"
+
+KILL_PHASES = ("before-save", "partial", "renamed", "checkpointed")
+
+
+def _maybe_kill(epoch: int, phase: str) -> None:
+    """SIGKILL ourselves if the crash hook targets this point."""
+    spec = os.environ.get(KILL_ENV)
+    if not spec:
+        return
+    try:
+        kill_epoch, kill_phase = spec.split(":", 1)
+        if int(kill_epoch) == epoch and kill_phase == phase:
+            os.kill(os.getpid(), signal.SIGKILL)
+    except ValueError:
+        raise CampaignError(
+            f"bad {KILL_ENV}={spec!r}: expected '<epoch>:<phase>' with "
+            f"phase one of {', '.join(KILL_PHASES)}"
+        ) from None
+
+
+class CampaignDriver:
+    """Runs a campaign's remaining epochs against its archive."""
+
+    def __init__(
+        self,
+        archive: CampaignArchive,
+        workers: int = 0,
+        pool=None,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        self.archive = archive
+        self.workers = workers
+        self.pool = pool
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: str | Path,
+        spec: CampaignSpec,
+        target_epochs: int,
+        workers: int = 0,
+        pool=None,
+        progress: ProgressFn | None = None,
+    ) -> "CampaignDriver":
+        archive = CampaignArchive.create(directory, spec, target_epochs)
+        return cls(archive, workers=workers, pool=pool, progress=progress)
+
+    @classmethod
+    def resume(
+        cls,
+        directory: str | Path,
+        target_epochs: int | None = None,
+        workers: int = 0,
+        pool=None,
+        progress: ProgressFn | None = None,
+    ) -> "CampaignDriver":
+        """Reopen an archive, validate it, and clear crash leftovers.
+
+        Validation is strict: every checkpointed epoch's archive must
+        match its recorded digest, and the checkpoint log must parse
+        and be contiguous — corruption raises :class:`CampaignError`
+        instead of silently re-running or mis-merging.  Crash leftovers
+        (``.partial`` saves, published-but-uncheckpointed epoch
+        directories) are discarded; their epochs re-run
+        deterministically.
+        """
+        archive = CampaignArchive.load(directory)
+        records = archive.checkpoints()
+        archive.verify(records)
+        archive.clean_interrupted(records)
+        if target_epochs is not None:
+            archive.extend_target(target_epochs)
+        return cls(archive, workers=workers, pool=pool, progress=progress)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Run every remaining epoch; returns epochs executed.
+
+        Finishes with a full re-merge and report regeneration, which
+        also absorbs the one crash window the epoch loop cannot see:
+        a checkpoint written but its trend point not merged.  Merging
+        is idempotent, so the absorption is a no-op on clean runs.
+        """
+        executed = 0
+        records = self.archive.checkpoints()
+        for epoch in range(len(records), self.archive.target_epochs):
+            records.append(self._run_epoch(epoch))
+            executed += 1
+        for record in records:
+            self.archive.merge_epoch(record)
+        report = render_trend_report(self.archive)
+        from ..ioutil import atomic_write_text
+
+        atomic_write_text(self.archive.report_path, report)
+        return executed
+
+    def _run_epoch(self, epoch: int) -> CheckpointRecord:
+        archive = self.archive
+        drift = archive.spec.drift_for_epoch(epoch)
+        partial = archive.partial_dir(epoch)
+        final = archive.epoch_dir(epoch)
+        if partial.exists():
+            import shutil
+
+            shutil.rmtree(partial)
+        _maybe_kill(epoch, "before-save")
+        self._materialise_epoch(epoch, drift, partial)
+        _maybe_kill(epoch, "partial")
+        final.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(partial, final)
+        _maybe_kill(epoch, "renamed")
+        record = CheckpointRecord(
+            epoch=epoch,
+            year=drift.year,
+            drift=drift,
+            digest=archive.digest_epoch(epoch),
+        )
+        archive.record_epoch(record)
+        _maybe_kill(epoch, "checkpointed")
+        archive.merge_epoch(record)
+        return record
+
+    def _materialise_epoch(self, epoch: int, drift, directory: Path) -> None:
+        """Run epoch ``N``'s study and save its archive into ``directory``.
+
+        Separated out so tests can substitute a fast deterministic
+        fake while exercising the real checkpoint/rename/merge
+        machinery around it.  ``collect_metrics`` stays off: telemetry
+        carries wall-clock timings, which would break byte-identity
+        between interrupted and uninterrupted campaigns.
+        """
+        spec = self.archive.spec
+        study = Study.run(
+            scale=spec.scale,
+            seed=spec.seed,
+            traceroutes=spec.traceroutes,
+            workers=self.workers,
+            progress=self.progress,
+            collect_metrics=False,
+            faults=spec.chaos,
+            chaos_seed=spec.chaos_seed,
+            pool=self.pool,
+            quic=spec.quic,
+            drift=drift,
+        )
+        study.save(directory)

@@ -57,11 +57,13 @@ from .reporting.export import (
 )
 from .reporting.report import full_report
 from .scenario.internet import SyntheticInternet
-from .scenario.parameters import params_for_scale
+from .scenario.timeline import EpochDrift, drifted_params
 
 
-def _build_world(scale: float, seed: int) -> SyntheticInternet:
-    return SyntheticInternet(params_for_scale(scale, seed))
+def _build_world(
+    scale: float, seed: int, drift: EpochDrift | None = None
+) -> SyntheticInternet:
+    return SyntheticInternet(drifted_params(scale, seed, drift))
 
 
 def _fail(message: str) -> int:
@@ -326,7 +328,15 @@ def cmd_report(args: argparse.Namespace) -> int:
         return _fail(f"no study directory at {study}/")
     try:
         manifest = json.loads((study / "manifest.json").read_text())
-        world = _build_world(manifest["scale"], manifest["seed"])
+        # Drifted archives (campaign epochs) carry their drift in the
+        # manifest; rebuilding from (scale, seed) alone would analyse
+        # the traces against the wrong world.
+        drift = (
+            EpochDrift.from_dict(manifest["drift"])
+            if "drift" in manifest
+            else None
+        )
+        world = _build_world(manifest["scale"], manifest["seed"], drift)
         traces = TraceSet.load(study / "traces.json")
         campaign = TracerouteCampaign.load(study / "traceroutes.json")
     except (OSError, ValueError, KeyError) as exc:
@@ -523,6 +533,123 @@ def cmd_studies(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_progress(verbose: bool):
+    if not verbose:
+        return None
+
+    def progress(done: int, total: int, label: str) -> None:
+        print(f"  [{done}/{total}] {label}", file=sys.stderr)
+
+    return progress
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    from .campaign import CampaignDriver, CampaignError, CampaignSpec
+
+    if args.workers < 0:
+        return _fail(f"--workers must be >= 0: {args.workers}")
+    if args.epochs < 1:
+        return _fail(f"--epochs must be >= 1: {args.epochs}")
+    try:
+        spec = CampaignSpec(
+            scale=args.scale,
+            seed=args.seed,
+            start_year=args.start_year,
+            cadence_years=args.cadence,
+            timeline=args.timeline,
+            pool_churn=not args.no_pool_churn,
+            chaos=args.chaos,
+            chaos_seed=args.chaos_seed,
+            quic=args.quic,
+        )
+        driver = CampaignDriver.create(
+            args.dir,
+            spec,
+            target_epochs=args.epochs,
+            workers=args.workers,
+            progress=_campaign_progress(args.verbose),
+        )
+        executed = driver.run()
+    except CampaignError as exc:
+        return _fail(str(exc))
+    print(
+        f"campaign {args.dir}: ran {executed} epoch(s), "
+        f"{len(driver.archive.checkpoints())}/{driver.archive.target_epochs} complete"
+    )
+    print(f"trend report: {driver.archive.report_path}")
+    return 0
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    from .campaign import CampaignDriver, CampaignError
+
+    if args.workers < 0:
+        return _fail(f"--workers must be >= 0: {args.workers}")
+    try:
+        driver = CampaignDriver.resume(
+            args.dir,
+            target_epochs=args.epochs,
+            workers=args.workers,
+            progress=_campaign_progress(args.verbose),
+        )
+        executed = driver.run()
+    except CampaignError as exc:
+        return _fail(str(exc))
+    print(
+        f"campaign {args.dir}: ran {executed} epoch(s), "
+        f"{len(driver.archive.checkpoints())}/{driver.archive.target_epochs} complete"
+    )
+    return 0
+
+
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    from .campaign import CampaignArchive, CampaignError, campaign_status
+
+    try:
+        archive = CampaignArchive.load(args.dir)
+        status = campaign_status(archive)
+    except CampaignError as exc:
+        return _fail(str(exc))
+    if args.json:
+        print(json.dumps(status, indent=2))
+        return 0
+    print(f"campaign {status['directory']}")
+    print(
+        f"  timeline={status['spec']['timeline']} "
+        f"scale={status['spec']['scale']} seed={status['spec']['seed']}"
+    )
+    print(
+        f"  epochs: {status['completed_epochs']}/{status['target_epochs']} "
+        f"complete, {status['merged_epochs']} merged"
+        + (" — done" if status["complete"] else f", next epoch {status['next_epoch']}")
+    )
+    if status["years"]:
+        print("  years: " + ", ".join(f"{y:.2f}" for y in status["years"]))
+    return 0
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    from .campaign import CampaignArchive, CampaignError, render_trend_report
+
+    try:
+        archive = CampaignArchive.load(args.dir)
+        print(render_trend_report(archive), end="")
+    except CampaignError as exc:
+        return _fail(str(exc))
+    dashboard = getattr(args, "dashboard", None)
+    if dashboard is not None:
+        from .obs import write_dashboard
+
+        target = (
+            archive.directory / "dashboard.html"
+            if dashboard == ""
+            else Path(dashboard)
+        )
+        written = write_dashboard(archive.directory, target)
+        print(f"dashboard written to {written}", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="ecnudp",
@@ -646,6 +773,74 @@ def build_parser() -> argparse.ArgumentParser:
                        help="results tree (archives, index.json, "
                             "queue.json between restarts)")
     serve.set_defaults(func=cmd_serve)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="longitudinal campaigns: recurring studies over a "
+             "time-parameterised scenario",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    c_run = campaign_sub.add_parser(
+        "run", help="create a campaign archive and run its epochs"
+    )
+    c_run.add_argument("--dir", type=str, required=True,
+                       help="campaign archive directory (must not exist yet)")
+    c_run.add_argument("--epochs", type=int, required=True,
+                       help="number of epochs (simulated measurement rounds)")
+    c_run.add_argument("--scale", type=float, default=0.1)
+    c_run.add_argument("--seed", type=int, default=20150401)
+    c_run.add_argument("--start-year", type=float, default=2015.33,
+                       help="simulated calendar year of epoch 0 "
+                            "(default: the paper's 2015 window)")
+    c_run.add_argument("--cadence", type=float, default=1.0,
+                       metavar="YEARS",
+                       help="simulated years between epochs")
+    c_run.add_argument("--timeline", type=str, default="fresh-look",
+                       help="drift timeline (fresh-look/frozen)")
+    c_run.add_argument("--no-pool-churn", action="store_true",
+                       help="freeze the address pool across epochs "
+                            "instead of re-deriving it per epoch")
+    c_run.add_argument("--chaos", type=str, default=None, metavar="PROFILE",
+                       help="run every epoch under a chaos profile")
+    c_run.add_argument("--chaos-seed", type=int, default=0)
+    c_run.add_argument("--quic", action="store_true",
+                       help="include the QUIC ECN-validation probe family")
+    c_run.add_argument("--workers", type=int, default=0,
+                       help="worker processes per epoch (0 = sequential; "
+                            "archives are identical)")
+    c_run.add_argument("--verbose", action="store_true")
+    c_run.set_defaults(func=cmd_campaign_run)
+
+    c_resume = campaign_sub.add_parser(
+        "resume",
+        help="resume an interrupted campaign (validates checkpoints, "
+             "discards crash leftovers, converges on the same bytes)",
+    )
+    c_resume.add_argument("--dir", type=str, required=True)
+    c_resume.add_argument("--epochs", type=int, default=None,
+                          help="optionally raise the epoch target")
+    c_resume.add_argument("--workers", type=int, default=0)
+    c_resume.add_argument("--verbose", action="store_true")
+    c_resume.set_defaults(func=cmd_campaign_resume)
+
+    c_status = campaign_sub.add_parser(
+        "status", help="show a campaign's checkpoint state"
+    )
+    c_status.add_argument("--dir", type=str, required=True)
+    c_status.add_argument("--json", action="store_true")
+    c_status.set_defaults(func=cmd_campaign_status)
+
+    c_report = campaign_sub.add_parser(
+        "report", help="print the merged trend report"
+    )
+    c_report.add_argument("--dir", type=str, required=True)
+    c_report.add_argument("--dashboard", nargs="?", const="", default=None,
+                          metavar="PATH",
+                          help="also render the campaign dashboard "
+                               "(HTML, or markdown for .md paths); "
+                               "defaults to <dir>/dashboard.html")
+    c_report.set_defaults(func=cmd_campaign_report)
 
     studies = sub.add_parser(
         "studies", help="list a results tree's indexed runs"

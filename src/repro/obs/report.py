@@ -37,6 +37,11 @@ class RunArtifacts:
     spans: list[dict] | None = None
     #: Parsed ``flight-*.json`` dumps, sorted by file name.
     flights: list[dict] = field(default_factory=list)
+    #: When the directory is a campaign archive: its ``campaign.json``
+    #: manifest and merged ``trend.json`` points.  Read structurally
+    #: (plain JSON) so the dashboard stays import-cycle-free.
+    campaign: dict | None = None
+    trend_points: list[dict] = field(default_factory=list)
 
 
 def _load_json(path: Path):
@@ -62,6 +67,14 @@ def load_run_artifacts(study_dir: str | Path) -> RunArtifacts:
         if isinstance(dump, dict):
             dump.setdefault("file", path.name)
             artifacts.flights.append(dump)
+    campaign_doc = _load_json(directory / "campaign.json")
+    if isinstance(campaign_doc, dict) and str(
+        campaign_doc.get("format", "")
+    ).startswith("ecn-udp-campaign/"):
+        artifacts.campaign = campaign_doc
+        trend_doc = _load_json(directory / "trend.json")
+        if isinstance(trend_doc, dict) and isinstance(trend_doc.get("points"), list):
+            artifacts.trend_points = trend_doc["points"]
     return artifacts
 
 
@@ -223,8 +236,71 @@ def _survival_rows(summary: dict) -> list[list[str]]:
 Section = tuple[str, list[str], list[list[str]], str]
 
 
+def _campaign_sections(artifacts: RunArtifacts) -> list[Section]:
+    """Sections for a campaign archive: spec plus the epoch time series."""
+    campaign = artifacts.campaign or {}
+    spec = campaign.get("spec", {})
+    checkpoints = artifacts.study_dir / "checkpoints.jsonl"
+    completed = (
+        sum(1 for line in checkpoints.read_text().splitlines() if line.strip())
+        if checkpoints.is_file()
+        else 0
+    )
+    field_rows = [
+        ["campaign", str(artifacts.study_dir)],
+        ["timeline", str(spec.get("timeline", "?"))],
+        ["scale", _fmt(spec.get("scale", "?"), 3)],
+        ["seed", str(spec.get("seed", "?"))],
+        [
+            "cadence",
+            f"{_fmt(spec.get('cadence_years', '?'), 2)} simulated years/epoch",
+        ],
+        [
+            "epochs",
+            f"{completed} / {campaign.get('target_epochs', '?')} complete, "
+            f"{len(artifacts.trend_points)} merged",
+        ],
+    ]
+    if spec.get("chaos"):
+        field_rows.append(
+            ["chaos", f"profile={spec['chaos']} seed={spec.get('chaos_seed', 0)}"]
+        )
+    sections: list[Section] = [("Campaign", ["field", "value"], field_rows, "")]
+    trend_rows = [
+        [
+            _fmt(point.get("year", 0.0), 2),
+            str(point.get("epoch", "?")),
+            _fmt(point.get("mark_survival_pct", 0.0), 2),
+            str(point.get("strip_events", 0)),
+            _fmt(point.get("negotiation_pct", 0.0), 2),
+            _fmt(point.get("udp_blackhole_pct", 0.0), 2),
+        ]
+        for point in artifacts.trend_points
+    ]
+    sections.append(
+        (
+            "Longitudinal trend",
+            [
+                "year",
+                "epoch",
+                "mark survival %",
+                "strip events",
+                "negotiation %",
+                "UDP ECT blackhole %",
+            ],
+            trend_rows,
+            "" if trend_rows else "no epochs merged into trend.json yet",
+        )
+    )
+    return sections
+
+
 def dashboard_sections(artifacts: RunArtifacts) -> list[Section]:
     """The renderer-independent dashboard content."""
+    if artifacts.campaign is not None:
+        # A campaign archive holds per-epoch studies, not top-level
+        # study artefacts — the study sections would all be empty.
+        return _campaign_sections(artifacts)
     sections: list[Section] = [
         (
             "Run",

@@ -41,7 +41,7 @@ from ..obs import (
     merge_snapshots,
 )
 from ..scenario.internet import SyntheticInternet
-from ..scenario.parameters import params_for_scale
+from ..scenario.timeline import EpochDrift, drifted_params
 from .merge import (
     MergeError,
     WIRE_FORMAT,
@@ -119,6 +119,7 @@ def run_study_parallel(
     profile_dir: str | Path | None = None,
     pool: SharedWorkerPool | None = None,
     quic: bool = False,
+    drift: EpochDrift | None = None,
 ) -> tuple[TraceSet, TracerouteCampaign]:
     """Execute a full study as parallel shards and merge the results.
 
@@ -168,9 +169,16 @@ def run_study_parallel(
     ``quic`` turns on the QUIC ECN-validation probe family in every
     shard's measurement application; it rides in the
     :class:`ShardJob` without joining the worker world-cache key.
+
+    ``drift`` applies longitudinal drift
+    (:class:`~repro.scenario.timeline.EpochDrift`) to the scenario
+    parameters: the parent builds (or receives) the drifted world, and
+    the drift ships inside every :class:`ShardJob`, joining the worker
+    world-cache key so each worker rebuilds the identical drifted
+    world.  ``None`` is the legacy undrifted path, bit for bit.
     """
     if world is None:
-        world = SyntheticInternet(params_for_scale(scale, seed))
+        world = SyntheticInternet(drifted_params(scale, seed, drift))
     if targets is None:
         targets = [server.addr for server in world.servers]
     target_tuple = tuple(targets)
@@ -195,6 +203,7 @@ def run_study_parallel(
             flight_dir=flight_path,
             profile_dir=profile_path,
             quic=quic,
+            drift=drift,
         )
         for shard in shards
     ]

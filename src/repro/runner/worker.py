@@ -36,7 +36,7 @@ from ..obs.flight import FlightRecorder
 from ..obs.metrics import MetricsRegistry
 from ..obs.spans import SpanRecorder
 from ..scenario.internet import SyntheticInternet
-from ..scenario.parameters import params_for_scale
+from ..scenario.timeline import EpochDrift, drifted_params
 from .merge import WIRE_FORMAT, encode_path, encode_trace
 from .shard import KIND_TRACES, Shard, shard_context_map
 
@@ -92,6 +92,10 @@ class ShardJob:
     #: measurements.  Deliberately *not* part of the world-cache key:
     #: QUIC servers are always deployed, only the probing app changes.
     quic: bool = False
+    #: Longitudinal drift applied to the scenario parameters before the
+    #: world is built (hashable, so it joins the world-cache key next
+    #: to the fault plan); ``None`` is the legacy undrifted world.
+    drift: EpochDrift | None = None
 
 
 #: Per-process world cache: building a synthetic Internet dominates
@@ -100,7 +104,9 @@ class ShardJob:
 #: pool (``ecnudp serve``) interleaves shards of *different* studies on
 #: one worker, and clearing on every key change would rebuild worlds
 #: per shard instead of per study.  Insertion order is the LRU order.
-_WORLD_CACHE: dict[tuple[float, int, FaultPlan | None], SyntheticInternet] = {}
+_WORLD_CACHE: dict[
+    tuple[float, int, FaultPlan | None, EpochDrift | None], SyntheticInternet
+] = {}
 
 #: Worlds kept per worker process.  Small on purpose: a full-scale
 #: world is large, and a server mixing more than this many distinct
@@ -118,9 +124,12 @@ _FLIGHT: FlightRecorder | None = None
 
 
 def _world_for(
-    scale: float, seed: int, fault_plan: FaultPlan | None = None
+    scale: float,
+    seed: int,
+    fault_plan: FaultPlan | None = None,
+    drift: EpochDrift | None = None,
 ) -> SyntheticInternet:
-    key = (scale, seed, fault_plan)
+    key = (scale, seed, fault_plan, drift)
     world = _WORLD_CACHE.get(key)
     if world is None:
         _WORLD_CACHE_STATS["misses"] += 1
@@ -128,7 +137,7 @@ def _world_for(
         # accumulate topologies beyond the budget.
         while len(_WORLD_CACHE) >= WORLD_CACHE_SIZE:
             _WORLD_CACHE.pop(next(iter(_WORLD_CACHE)))
-        world = SyntheticInternet(params_for_scale(scale, seed))
+        world = SyntheticInternet(drifted_params(scale, seed, drift))
         if fault_plan is not None:
             world.install_fault_plan(fault_plan)
         _WORLD_CACHE[key] = world
@@ -219,7 +228,7 @@ def _execute_shard(job: ShardJob, flight: FlightRecorder | None) -> dict:
             f"injected failure for shard {job.shard.shard_id} "
             f"(attempt {job.attempt})"
         )
-    world = _world_for(job.scale, job.seed, job.fault_plan)
+    world = _world_for(job.scale, job.seed, job.fault_plan, job.drift)
     app = MeasurementApplication(world, targets=list(job.targets), quic=job.quic)
     shard = job.shard
     result: dict = {

@@ -11,10 +11,20 @@ from .parameters import (
     default_params,
     scaled_params,
 )
+from .timeline import (
+    TIMELINES,
+    EpochDrift,
+    Timeline,
+    TimelineError,
+    apply_drift,
+    drifted_params,
+    timeline_by_name,
+)
 from .vantages import VANTAGES, VantageSpec, ec2_vantages, vantage_by_key
 
 __all__ = [
     "ASInfo",
+    "EpochDrift",
     "GroundTruth",
     "MiddleboxParams",
     "ProbeParams",
@@ -22,12 +32,18 @@ __all__ = [
     "ServerInfo",
     "ServerParams",
     "SyntheticInternet",
+    "TIMELINES",
+    "Timeline",
+    "TimelineError",
     "TopologyParams",
     "TraceScheduleParams",
     "VANTAGES",
     "VantageSpec",
+    "apply_drift",
     "default_params",
+    "drifted_params",
     "ec2_vantages",
     "scaled_params",
+    "timeline_by_name",
     "vantage_by_key",
 ]

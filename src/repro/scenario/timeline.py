@@ -1,0 +1,292 @@
+"""Time-parameterised scenario drift for longitudinal campaigns.
+
+The paper's headline numbers are a 2015 snapshot, but its Figure 6 is
+a time series, and the 2022 re-measurement ("A Fresh Look at ECN
+Traversal in the Wild", arXiv 2208.14523) re-ran the methodology seven
+years later: ECT **bleaching had collapsed** (the once-ubiquitous
+mark-stripping middleboxes largely disappeared) while server-side ECN
+**negotiation soared** past 90 %, and hard UDP-ECT blackholing
+declined more slowly than bleaching.  "Using UDP for Internet
+Transport Evolution" (arXiv 1612.07816) frames the same drift from the
+protocol-design side: middlebox behaviour is a moving target, so any
+longitudinal claim needs a model of how prevalence changes over time.
+
+This module turns that drift into scenario parameters:
+
+- a :class:`Timeline` maps a simulated calendar *year* to drift rates
+  via piecewise-linear interpolation between anchors (clamped outside
+  the anchor range), with the 2015 anchor equal to the paper's
+  calibration and the 2022 anchor qualitatively matching the
+  re-measurement;
+- an :class:`EpochDrift` is the frozen, hashable value of one epoch's
+  drift — it rides inside :class:`~repro.runner.worker.ShardJob` and
+  joins the worker world-cache key, exactly like a fault plan;
+- :func:`apply_drift` rewrites a :class:`ScenarioParams` through
+  ``dataclasses.replace`` so a drifted world is built by the same
+  constructor as an undrifted one.  ``apply_drift`` is only ever
+  invoked when a drift is present, so legacy ``(scale, seed)`` worlds
+  stay bit-identical.
+
+Determinism contract: epoch ``N`` of a campaign is a pure function of
+``(campaign spec, N)``.  :meth:`Timeline.drift_for_epoch` derives the
+epoch's calendar year, rates, and (when address-pool churn is on) a
+per-epoch world seed splitmix-mixed from the campaign seed — no clock,
+no global state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from .parameters import ScenarioParams, params_for_scale
+
+#: The paper's measurement window (April-August 2015) as a fractional
+#: year — the calibration anchor every timeline starts from.
+PAPER_YEAR = 2015.33
+
+#: The re-measurement window of arXiv 2208.14523 (mid-2022).
+FRESH_LOOK_YEAR = 2022.5
+
+#: Keep the drifted negotiate fraction clear of the REFLECT/DROP_SYN
+#: shares so the policy mix never exceeds 1.0 (deployment.py raises).
+_MAX_NEGOTIATE = 0.98
+
+
+class TimelineError(ValueError):
+    """An unknown timeline name or unusable drift document."""
+
+
+def _clamp(value: float, low: float, high: float) -> float:
+    return min(max(value, low), high)
+
+
+def piecewise_linear(anchors: tuple[tuple[float, float], ...], year: float) -> float:
+    """Interpolate ``anchors`` at ``year``, clamping outside the range.
+
+    Anchors are ``(year, value)`` pairs in strictly increasing year
+    order.  Clamping (hold the end values) keeps extrapolated decades
+    physical: a collapsed bleacher population does not go negative in
+    2030, it stays collapsed.
+    """
+    if not anchors:
+        raise TimelineError("a timeline series needs at least one anchor")
+    if year <= anchors[0][0]:
+        return anchors[0][1]
+    if year >= anchors[-1][0]:
+        return anchors[-1][1]
+    for (x0, y0), (x1, y1) in zip(anchors, anchors[1:]):
+        if x0 <= year <= x1:
+            span = x1 - x0
+            if span <= 0:
+                return y1
+            return y0 + (y1 - y0) * (year - x0) / span
+    return anchors[-1][1]  # pragma: no cover - unreachable by construction
+
+
+def epoch_world_seed(seed: int, epoch: int) -> int:
+    """Per-epoch world seed modelling address-pool churn.
+
+    The same splitmix-style mix the hermetic epochs use
+    (:func:`repro.scenario.internet._epoch_stream` idiom): neighbouring
+    ``(seed, epoch)`` pairs land far apart, and the result is a pure
+    function of its inputs, so a resumed campaign re-derives the exact
+    world a crashed driver was building.  Folded to 31 bits to stay a
+    friendly JSON/manifest integer.
+    """
+    mixed = (seed * 1_000_003 + (epoch + 1) * 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 30
+    mixed = (mixed * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 27
+    return mixed & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class EpochDrift:
+    """One epoch's drift, as a frozen hashable value.
+
+    Scales are multipliers on the 2015-calibrated parameters;
+    ``negotiate_rate`` is absolute (the paper reports it as a headline
+    fraction, so timelines anchor it directly).  ``world_seed`` is the
+    epoch's scenario seed when address-pool churn is modelled, or
+    ``None`` to keep the campaign seed (a frozen pool).
+
+    Hashable on purpose: a drift rides in every
+    :class:`~repro.runner.worker.ShardJob` and joins the per-process
+    world-cache key next to the fault plan.
+    """
+
+    year: float
+    bleacher_scale: float = 1.0
+    blackhole_scale: float = 1.0
+    negotiate_rate: float = 0.82
+    churn_scale: float = 1.0
+    world_seed: int | None = None
+
+    def to_dict(self) -> dict:
+        # No rounding: JSON round-trips Python floats exactly, and a
+        # drift document must rebuild the *identical* world — a drift
+        # re-derived from a manifest participates in byte-identity
+        # checks against the originally built world.
+        payload: dict = {
+            "year": self.year,
+            "bleacher_scale": self.bleacher_scale,
+            "blackhole_scale": self.blackhole_scale,
+            "negotiate_rate": self.negotiate_rate,
+            "churn_scale": self.churn_scale,
+        }
+        if self.world_seed is not None:
+            payload["world_seed"] = self.world_seed
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "EpochDrift":
+        if not isinstance(payload, Mapping) or "year" not in payload:
+            raise TimelineError(f"not a drift document: {payload!r}")
+        try:
+            world_seed = payload.get("world_seed")
+            return cls(
+                year=float(payload["year"]),
+                bleacher_scale=float(payload.get("bleacher_scale", 1.0)),
+                blackhole_scale=float(payload.get("blackhole_scale", 1.0)),
+                negotiate_rate=float(payload.get("negotiate_rate", 0.82)),
+                churn_scale=float(payload.get("churn_scale", 1.0)),
+                world_seed=int(world_seed) if world_seed is not None else None,
+            )
+        except (TypeError, ValueError) as exc:
+            raise TimelineError(f"unusable drift document: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """Piecewise-linear drift rates anchored to calendar years."""
+
+    name: str
+    bleacher: tuple[tuple[float, float], ...]
+    blackhole: tuple[tuple[float, float], ...]
+    negotiate: tuple[tuple[float, float], ...]
+    churn: tuple[tuple[float, float], ...]
+
+    def drift_at(self, year: float) -> EpochDrift:
+        """The drift rates at one calendar year (no pool churn seed)."""
+        return EpochDrift(
+            year=year,
+            bleacher_scale=piecewise_linear(self.bleacher, year),
+            blackhole_scale=piecewise_linear(self.blackhole, year),
+            negotiate_rate=piecewise_linear(self.negotiate, year),
+            churn_scale=piecewise_linear(self.churn, year),
+        )
+
+    def drift_for_epoch(
+        self,
+        seed: int,
+        epoch: int,
+        start_year: float = PAPER_YEAR,
+        cadence_years: float = 1.0,
+        pool_churn: bool = True,
+    ) -> EpochDrift:
+        """Epoch ``N``'s drift — a pure function of its arguments."""
+        if epoch < 0:
+            raise TimelineError(f"epoch must be >= 0: {epoch!r}")
+        if cadence_years <= 0:
+            raise TimelineError(f"cadence_years must be > 0: {cadence_years!r}")
+        drift = self.drift_at(start_year + epoch * cadence_years)
+        if pool_churn:
+            drift = dataclasses.replace(
+                drift, world_seed=epoch_world_seed(seed, epoch)
+            )
+        return drift
+
+
+#: The 2015 → 2022 drift of arXiv 2208.14523, qualitatively: bleaching
+#: collapses to ~a tenth of its 2015 prevalence, negotiation climbs
+#: from 82 % into the low-to-mid 90s, hard ECT blackholing falls more
+#: slowly than bleaching, and pool membership churns faster as the
+#: volunteer population turns over.
+FRESH_LOOK = Timeline(
+    name="fresh-look",
+    bleacher=((PAPER_YEAR, 1.0), (FRESH_LOOK_YEAR, 0.12)),
+    blackhole=((PAPER_YEAR, 1.0), (FRESH_LOOK_YEAR, 0.45)),
+    negotiate=((PAPER_YEAR, 0.82), (FRESH_LOOK_YEAR, 0.935)),
+    churn=((PAPER_YEAR, 1.0), (FRESH_LOOK_YEAR, 1.6)),
+)
+
+#: A control timeline: every epoch re-measures the 2015 Internet.
+#: Useful for separating drift effects from pool-churn effects.
+FROZEN = Timeline(
+    name="frozen",
+    bleacher=((PAPER_YEAR, 1.0),),
+    blackhole=((PAPER_YEAR, 1.0),),
+    negotiate=((PAPER_YEAR, 0.82),),
+    churn=((PAPER_YEAR, 1.0),),
+)
+
+TIMELINES: dict[str, Timeline] = {
+    FRESH_LOOK.name: FRESH_LOOK,
+    FROZEN.name: FROZEN,
+}
+
+
+def timeline_by_name(name: str) -> Timeline:
+    """Look up a registered timeline; loud on unknown names."""
+    try:
+        return TIMELINES[name]
+    except KeyError:
+        known = ", ".join(sorted(TIMELINES))
+        raise TimelineError(f"unknown timeline {name!r}; one of: {known}") from None
+
+
+def apply_drift(params: ScenarioParams, drift: EpochDrift) -> ScenarioParams:
+    """Rewrite calibrated parameters through one epoch's drift.
+
+    Counts keep the same floors ``scaled_params`` applies (at least one
+    of each middlebox class survives any collapse — a tiny-scale world
+    with zero blackholes would degenerate several analyses), and the
+    negotiate fraction stays clear of the REFLECT/DROP_SYN shares so
+    the web-server policy mix never exceeds 1.0.
+    """
+    mb = params.middleboxes
+    udp_blocked = max(1, round(mb.udp_ect_blocked_servers * drift.blackhole_scale))
+    middleboxes = dataclasses.replace(
+        mb,
+        bleacher_router_fraction=_clamp(
+            mb.bleacher_router_fraction * drift.bleacher_scale, 0.0, 1.0
+        ),
+        udp_ect_blocked_servers=udp_blocked,
+        any_ect_blocked_servers=min(
+            udp_blocked,
+            max(0, round(mb.any_ect_blocked_servers * drift.blackhole_scale)),
+        ),
+        flaky_ect_blocked_servers=max(
+            1, round(mb.flaky_ect_blocked_servers * drift.blackhole_scale)
+        ),
+    )
+    servers = dataclasses.replace(
+        params.servers,
+        ecn_negotiate_fraction=_clamp(drift.negotiate_rate, 0.0, _MAX_NEGOTIATE),
+        offline_rate_batch1=_clamp(
+            params.servers.offline_rate_batch1 * drift.churn_scale, 0.0, 0.5
+        ),
+        churn_rate_batch2=_clamp(
+            params.servers.churn_rate_batch2 * drift.churn_scale, 0.0, 0.5
+        ),
+    )
+    seed = params.seed if drift.world_seed is None else drift.world_seed
+    return dataclasses.replace(
+        params, seed=seed, servers=servers, middleboxes=middleboxes
+    )
+
+
+def drifted_params(
+    scale: float, seed: int, drift: EpochDrift | None
+) -> ScenarioParams:
+    """The canonical ``(scale, seed, drift) -> params`` mapping.
+
+    Extends :func:`~repro.scenario.parameters.params_for_scale` the
+    same way every entry point must agree on: ``drift=None`` returns
+    the legacy mapping untouched (bit-identical worlds), anything else
+    layers :func:`apply_drift` on top.
+    """
+    params = params_for_scale(scale, seed)
+    return params if drift is None else apply_drift(params, drift)

@@ -38,12 +38,14 @@ from .index import (
 )
 from .queue import (
     QUEUE_FORMAT,
+    CampaignJob,
     QueueFull,
     QuotaExceeded,
     StudyParams,
     StudyQueue,
     Submission,
     ValidationError,
+    validate_campaign,
     validate_params,
     validate_priority,
     validate_tenant,
@@ -52,6 +54,7 @@ from .scheduler import RunHandle, StudyScheduler, WorldCache
 from .server import ServeConfig, StudyServer, run_server
 
 __all__ = [
+    "CampaignJob",
     "ChunkedWriter",
     "HttpError",
     "INDEX_FORMAT",
@@ -79,6 +82,7 @@ __all__ = [
     "migrate_results_root",
     "read_request",
     "run_server",
+    "validate_campaign",
     "validate_params",
     "validate_priority",
     "validate_tenant",

@@ -149,7 +149,11 @@ def migrate_results_root(root: str | Path) -> tuple[StudyIndex, list[str]]:
     Every direct subdirectory holding a readable ``manifest.json`` and
     not yet indexed gains an entry whose run id is the directory name —
     stable across re-migrations, and what older trees were addressed by
-    anyway.  Returns ``(index, newly added run ids)``.
+    anyway.  Campaign archives (directories holding a ``campaign.json``)
+    gain a ``kind: campaign`` entry naming their member epochs, plus
+    one ``<campaign>/epoch-NNNN`` entry per epoch archive, so
+    ``ecnudp studies`` and ``report --run-id`` can address individual
+    epochs.  Returns ``(index, newly added run ids)``.
     """
     root = Path(root)
     index = StudyIndex(root)
@@ -160,8 +164,16 @@ def migrate_results_root(root: str | Path) -> tuple[StudyIndex, list[str]]:
     if not root.is_dir():
         return index, added
     for child in sorted(root.iterdir()):
+        if not child.is_dir():
+            continue
+        campaign_path = child / "campaign.json"
+        if campaign_path.is_file():
+            added.extend(
+                _migrate_campaign(index, indexed_dirs, child, campaign_path)
+            )
+            continue
         manifest_path = child / "manifest.json"
-        if not child.is_dir() or not manifest_path.is_file():
+        if not manifest_path.is_file():
             continue
         if str(child) in indexed_dirs or child.name in index:
             continue
@@ -178,3 +190,73 @@ def migrate_results_root(root: str | Path) -> tuple[StudyIndex, list[str]]:
         )
         added.append(child.name)
     return index, added
+
+
+def _migrate_campaign(
+    index: StudyIndex,
+    indexed_dirs: set[str],
+    child: Path,
+    campaign_path: Path,
+) -> list[str]:
+    """Index one campaign archive directory and its member epochs.
+
+    Re-runs are additive: an already-indexed campaign only gains
+    entries for epochs that appeared since the last migration (a
+    resumed/extended archive), never losing or rewriting existing ones.
+    """
+    try:
+        document = json.loads(campaign_path.read_text())
+    except (OSError, ValueError):
+        return []
+    if not isinstance(document, dict) or not str(
+        document.get("format", "")
+    ).startswith("ecn-udp-campaign/"):
+        return []
+    spec = document.get("spec", {}) if isinstance(document.get("spec"), dict) else {}
+    scale = spec.get("scale", 0.0)
+    seed = spec.get("seed", 0)
+    added: list[str] = []
+    epochs_root = child / "epochs"
+    epoch_names = (
+        sorted(
+            p.name
+            for p in epochs_root.iterdir()
+            if p.is_dir()
+            and p.name.startswith("epoch-")
+            and (p / "manifest.json").is_file()
+        )
+        if epochs_root.is_dir()
+        else []
+    )
+    epoch_ids = [f"{child.name}/{name}" for name in epoch_names]
+    existing = index.get(child.name)
+    if (
+        existing is None
+        or existing.get("kind") != "campaign"
+        or existing.get("epochs") != epoch_ids
+    ):
+        if str(child) not in indexed_dirs or existing is not None:
+            index.register(
+                child.name,
+                child,
+                scale=scale,
+                seed=seed,
+                status=STATUS_COMPLETE,
+                kind="campaign",
+                epochs=epoch_ids,
+            )
+            if existing is None:
+                added.append(child.name)
+    for name, epoch_id in zip(epoch_names, epoch_ids):
+        if epoch_id in index:
+            continue
+        index.register(
+            epoch_id,
+            epochs_root / name,
+            scale=scale,
+            seed=seed,
+            status=STATUS_COMPLETE,
+            campaign=child.name,
+        )
+        added.append(epoch_id)
+    return added

@@ -40,6 +40,103 @@ class ValidationError(ValueError):
     """A submission document that cannot become a study."""
 
 
+#: Upper bound on epochs per campaign submission.  Campaigns are
+#: *recurring*: re-submitting the same campaign ``id`` extends the
+#: archive by another batch of epochs, so the cap bounds one grant of
+#: queue time, not the campaign's lifetime length.
+MAX_CAMPAIGN_EPOCHS = 32
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """The campaign-shaped part of a submission, validated.
+
+    ``id`` names the on-disk campaign archive; re-submitting with the
+    same id resumes and extends it (the recurring-job idiom).  ``None``
+    derives the archive name from the run id — a one-shot campaign.
+    """
+
+    epochs: int
+    start_year: float = 2015.33
+    cadence_years: float = 1.0
+    timeline: str = "fresh-look"
+    pool_churn: bool = True
+    id: str | None = None
+
+    def to_dict(self) -> dict:
+        payload: dict = {"epochs": self.epochs}
+        if self.start_year != 2015.33:
+            payload["start_year"] = self.start_year
+        if self.cadence_years != 1.0:
+            payload["cadence_years"] = self.cadence_years
+        if self.timeline != "fresh-look":
+            payload["timeline"] = self.timeline
+        if not self.pool_churn:
+            payload["pool_churn"] = False
+        if self.id is not None:
+            payload["id"] = self.id
+        return payload
+
+
+def validate_campaign(payload) -> CampaignJob:
+    """Validate a submission's nested ``campaign`` object."""
+    from ..scenario.timeline import TIMELINES
+
+    if not isinstance(payload, Mapping):
+        raise ValidationError(f"campaign must be a JSON object: {payload!r}")
+    known = {"epochs", "start_year", "cadence_years", "timeline", "pool_churn", "id"}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ValidationError(f"unknown campaign field(s): {', '.join(unknown)}")
+    epochs = payload.get("epochs")
+    if isinstance(epochs, bool) or not isinstance(epochs, int):
+        raise ValidationError(f"campaign epochs must be an integer: {epochs!r}")
+    if not 1 <= epochs <= MAX_CAMPAIGN_EPOCHS:
+        raise ValidationError(
+            f"campaign epochs must be in [1, {MAX_CAMPAIGN_EPOCHS}]: {epochs!r}"
+        )
+    start_year = payload.get("start_year", 2015.33)
+    if isinstance(start_year, bool) or not isinstance(start_year, (int, float)):
+        raise ValidationError(f"campaign start_year must be a number: {start_year!r}")
+    cadence = payload.get("cadence_years", 1.0)
+    if isinstance(cadence, bool) or not isinstance(cadence, (int, float)):
+        raise ValidationError(f"campaign cadence_years must be a number: {cadence!r}")
+    if float(cadence) <= 0:
+        raise ValidationError(f"campaign cadence_years must be > 0: {cadence!r}")
+    timeline = payload.get("timeline", "fresh-look")
+    if not isinstance(timeline, str) or timeline not in TIMELINES:
+        known_timelines = ", ".join(sorted(TIMELINES))
+        raise ValidationError(
+            f"unknown campaign timeline {timeline!r}; one of: {known_timelines}"
+        )
+    pool_churn = payload.get("pool_churn", True)
+    if not isinstance(pool_churn, bool):
+        raise ValidationError(f"campaign pool_churn must be a boolean: {pool_churn!r}")
+    campaign_id = payload.get("id")
+    if campaign_id is not None:
+        # Same character discipline as tenants: the id becomes a
+        # directory name under the results root.
+        if (
+            not isinstance(campaign_id, str)
+            or not campaign_id
+            or len(campaign_id) > 64
+            or not all(c.isalnum() or c in "-_." for c in campaign_id)
+            or campaign_id.startswith(".")
+        ):
+            raise ValidationError(
+                f"campaign id must be <=64 chars of [alnum - _ .], not "
+                f"starting with '.': {campaign_id!r}"
+            )
+    return CampaignJob(
+        epochs=epochs,
+        start_year=float(start_year),
+        cadence_years=float(cadence),
+        timeline=timeline,
+        pool_churn=pool_churn,
+        id=campaign_id,
+    )
+
+
 class QueueFull(RuntimeError):
     """The global queue depth is exhausted (back off and retry)."""
 
@@ -73,6 +170,9 @@ class StudyParams:
     traceroutes: bool = True
     chaos: str | None = None
     chaos_seed: int = 0
+    #: Set when the submission is a longitudinal campaign rather than
+    #: a single study; the scheduler routes it to the campaign driver.
+    campaign: CampaignJob | None = None
 
     def world_key(self) -> tuple[float, int]:
         return (self.scale, self.seed)
@@ -84,6 +184,8 @@ class StudyParams:
         if self.chaos is not None:
             payload["chaos"] = self.chaos
             payload["chaos_seed"] = self.chaos_seed
+        if self.campaign is not None:
+            payload["campaign"] = self.campaign.to_dict()
         return payload
 
     @classmethod
@@ -99,7 +201,16 @@ def validate_params(payload) -> StudyParams:
     """
     if not isinstance(payload, Mapping):
         raise ValidationError("submission must be a JSON object")
-    known = {"scale", "seed", "traceroutes", "chaos", "chaos_seed", "tenant", "priority"}
+    known = {
+        "scale",
+        "seed",
+        "traceroutes",
+        "chaos",
+        "chaos_seed",
+        "campaign",
+        "tenant",
+        "priority",
+    }
     unknown = sorted(set(payload) - known)
     if unknown:
         raise ValidationError(f"unknown field(s): {', '.join(unknown)}")
@@ -124,12 +235,16 @@ def validate_params(payload) -> StudyParams:
     chaos_seed = payload.get("chaos_seed", 0)
     if isinstance(chaos_seed, bool) or not isinstance(chaos_seed, int):
         raise ValidationError(f"chaos_seed must be an integer: {chaos_seed!r}")
+    campaign = payload.get("campaign")
+    if campaign is not None:
+        campaign = validate_campaign(campaign)
     return StudyParams(
         scale=float(scale),
         seed=seed,
         traceroutes=traceroutes,
         chaos=chaos,
         chaos_seed=chaos_seed,
+        campaign=campaign,
     )
 
 

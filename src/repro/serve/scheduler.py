@@ -253,7 +253,7 @@ class StudyScheduler:
             )
 
         try:
-            await asyncio.to_thread(self._execute, submission, progress)
+            outcome = await asyncio.to_thread(self._execute, submission, progress)
         except Exception as exc:  # noqa: BLE001 - per-run failure boundary
             logger.warning("run %s failed: %s", submission.run_id, exc)
             handle.status = STATUS_FAILED
@@ -271,14 +271,57 @@ class StudyScheduler:
             # otherwise — a second instance's flush would revert other
             # runs' statuses from its stale cache), so the save path
             # below deliberately archives without touching the index.
-            self.index.register(
-                submission.run_id,
-                self.studies_dir / submission.run_id,
-                scale=submission.params.scale,
-                seed=submission.params.seed,
-                status=STATUS_COMPLETE,
-                tenant=submission.tenant,
-            )
+            if outcome is not None and outcome.get("kind") == "campaign":
+                # A campaign gets two kinds of entries: one for the
+                # campaign itself (naming its member epochs) and one
+                # per epoch archive, so `ecnudp studies` and
+                # `report --run-id` can address individual epochs.
+                campaign_dir = Path(outcome["directory"])
+                epoch_ids = [
+                    f"{campaign_dir.name}/{name}" for name in outcome["epochs"]
+                ]
+                self.index.register(
+                    campaign_dir.name,
+                    campaign_dir,
+                    scale=submission.params.scale,
+                    seed=submission.params.seed,
+                    status=STATUS_COMPLETE,
+                    tenant=submission.tenant,
+                    kind="campaign",
+                    epochs=epoch_ids,
+                )
+                for name, epoch_id in zip(outcome["epochs"], epoch_ids):
+                    self.index.register(
+                        epoch_id,
+                        campaign_dir / "epochs" / name,
+                        scale=submission.params.scale,
+                        seed=submission.params.seed,
+                        status=STATUS_COMPLETE,
+                        tenant=submission.tenant,
+                        campaign=campaign_dir.name,
+                    )
+                if campaign_dir.name != submission.run_id:
+                    # The submission itself still resolves: point the
+                    # minted run id at the campaign archive too.
+                    self.index.register(
+                        submission.run_id,
+                        campaign_dir,
+                        scale=submission.params.scale,
+                        seed=submission.params.seed,
+                        status=STATUS_COMPLETE,
+                        tenant=submission.tenant,
+                        kind="campaign",
+                        campaign=campaign_dir.name,
+                    )
+            else:
+                self.index.register(
+                    submission.run_id,
+                    self.studies_dir / submission.run_id,
+                    scale=submission.params.scale,
+                    seed=submission.params.seed,
+                    status=STATUS_COMPLETE,
+                    tenant=submission.tenant,
+                )
         finally:
             handle.finished_at = time.monotonic()
             if handle.started_at is not None:
@@ -299,8 +342,10 @@ class StudyScheduler:
     # ------------------------------------------------------------------
     # Study execution (worker thread)
     # ------------------------------------------------------------------
-    def _execute(self, submission: Submission, progress) -> None:
+    def _execute(self, submission: Submission, progress) -> dict | None:
         params = submission.params
+        if params.campaign is not None:
+            return self._execute_campaign(submission, progress)
         entry = self.worlds.entry_for(params.scale, params.seed)
         run_dir = self.studies_dir / submission.run_id
         common = dict(
@@ -326,6 +371,70 @@ class StudyScheduler:
         # No run_id: _run_one registers the completed archive through
         # the server's index instance (the root's single writer).
         study.save(run_dir)
+        return None
+
+    def _execute_campaign(self, submission: Submission, progress) -> dict:
+        """Run (or extend) a campaign archive under the studies root.
+
+        A campaign with an explicit ``id`` is the recurring-job case:
+        the first submission creates the archive, later ones resume it
+        and raise the epoch target by another batch — the driver's
+        resume validation (checkpoints, digests, crash cleanup) runs on
+        every extension.  A submission whose spec disagrees with the
+        existing archive's spec fails loudly instead of silently
+        measuring a different world under the same name.
+
+        Campaign epochs run drifted worlds, which the per-``(scale,
+        seed)`` world caches cannot hold — the driver builds each
+        epoch's world itself (workers still reuse theirs through the
+        drift-aware per-process cache).
+        """
+        from ..campaign import CampaignArchive, CampaignDriver, CampaignSpec
+
+        params = submission.params
+        job = params.campaign
+        spec = CampaignSpec(
+            scale=params.scale,
+            seed=params.seed,
+            start_year=job.start_year,
+            cadence_years=job.cadence_years,
+            timeline=job.timeline,
+            pool_churn=job.pool_churn,
+            chaos=params.chaos,
+            chaos_seed=params.chaos_seed,
+            traceroutes=params.traceroutes,
+        )
+        directory = self.studies_dir / (job.id or submission.run_id)
+        workers = max(self.study_workers, 1) if self.pool is not None else 0
+        if (directory / "campaign.json").exists():
+            existing = CampaignArchive.load(directory)
+            if existing.spec != spec:
+                raise ValueError(
+                    f"campaign {directory.name!r} already exists with a "
+                    f"different spec; submit under a new campaign id"
+                )
+            driver = CampaignDriver.resume(
+                directory,
+                target_epochs=existing.target_epochs + job.epochs,
+                workers=workers,
+                pool=self.pool,
+                progress=progress,
+            )
+        else:
+            driver = CampaignDriver.create(
+                directory,
+                spec,
+                target_epochs=job.epochs,
+                workers=workers,
+                pool=self.pool,
+                progress=progress,
+            )
+        driver.run()
+        return {
+            "kind": "campaign",
+            "directory": str(directory),
+            "epochs": [path.name for path in driver.archive.epoch_dirs()],
+        }
 
     # ------------------------------------------------------------------
     # Shutdown

@@ -53,7 +53,7 @@ from .reporting.export import (
 )
 from .reporting.report import full_report
 from .scenario.internet import SyntheticInternet
-from .scenario.parameters import params_for_scale
+from .scenario.timeline import EpochDrift, drifted_params
 
 
 @dataclass
@@ -75,6 +75,9 @@ class Study:
     #: Assembled span list (study root first) when span recording was
     #: on; canonically identical for any worker count.
     spans: list | None = None
+    #: Longitudinal drift the world was built under (``None`` = the
+    #: legacy undrifted world; archives stay byte-identical then).
+    drift: EpochDrift | None = None
     _cache: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
@@ -100,6 +103,7 @@ class Study:
         targets: list[int] | None = None,
         pool=None,
         quic: bool = False,
+        drift: EpochDrift | None = None,
     ) -> "Study":
         """Execute the full §3 methodology at the given scale.
 
@@ -153,6 +157,15 @@ class Study:
         :attr:`quic_ecn` for the resulting analysis).  The probe runs
         after the legacy phases inside each epoch, so studies with
         ``quic=False`` remain byte-identical to pre-QUIC archives.
+
+        ``drift`` builds the world from longitudinally drifted
+        parameters (:mod:`repro.scenario.timeline`) — what one epoch
+        of a campaign (:mod:`repro.campaign`) runs.  The drift is
+        recorded in the archive manifest and rides into shard workers,
+        so sharded and sequential drifted runs stay bit-identical and
+        :meth:`load` rebuilds the same drifted world.  A ``world``
+        passed alongside a drift must have been built from exactly
+        ``drifted_params(scale, seed, drift)``.
         """
         span_detail: str | None = None
         if record_spans:
@@ -162,7 +175,7 @@ class Study:
         if pool is not None and workers <= 0:
             raise ValueError("pool= requires workers > 0 (sharded execution)")
         if world is None:
-            world = SyntheticInternet(params_for_scale(scale, seed))
+            world = SyntheticInternet(drifted_params(scale, seed, drift))
         fault_plan = None
         if faults is not None:
             from .faults import FaultPlan, generate_fault_plan
@@ -213,6 +226,7 @@ class Study:
                 profile_dir=obs_dir if profile else None,
                 pool=pool,
                 quic=quic,
+                drift=drift,
             )
             if span_detail is not None:
                 span_list = span_sink
@@ -295,6 +309,7 @@ class Study:
             telemetry=telemetry,
             tracer=tracer,
             spans=span_list,
+            drift=drift,
         )
 
     # ------------------------------------------------------------------
@@ -401,6 +416,12 @@ class Study:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         manifest: dict = {"scale": self.scale, "seed": self.seed}
+        if self.drift is not None:
+            # Drifted worlds cannot be rebuilt from (scale, seed)
+            # alone; the manifest carries the drift so load() and
+            # `ecnudp report` re-derive the identical world.  Absent
+            # for undrifted runs, keeping legacy archives byte-stable.
+            manifest["drift"] = self.drift.to_dict()
         if self.telemetry is not None and self.telemetry.chaos is not None:
             # Record that the archived data came from a chaotic run —
             # load() rebuilds a pristine world, so ground-truth
@@ -453,15 +474,19 @@ class Study:
         directory = Path(directory)
         manifest = json.loads((directory / "manifest.json").read_text())
         scale, seed = manifest["scale"], manifest["seed"]
+        drift = None
+        if "drift" in manifest:
+            drift = EpochDrift.from_dict(manifest["drift"])
         spans = None
         spans_path = directory / "spans.json"
         if spans_path.exists():
             spans = json.loads(spans_path.read_text())["spans"]
         return cls(
-            world=SyntheticInternet(params_for_scale(scale, seed)),
+            world=SyntheticInternet(drifted_params(scale, seed, drift)),
             traces=TraceSet.load(directory / "traces.json"),
             campaign=TracerouteCampaign.load(directory / "traceroutes.json"),
             scale=scale,
             seed=seed,
             spans=spans,
+            drift=drift,
         )

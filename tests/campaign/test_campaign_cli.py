@@ -1,0 +1,106 @@
+"""CLI surface of ``ecnudp campaign``: run, resume, status, report."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+ARGS = ["--scale", "0.02", "--seed", "7", "--cadence", "3.5"]
+
+
+@pytest.fixture(scope="module")
+def campaign_dir(tmp_path_factory):
+    """A real 2-epoch campaign, run once and shared read-only."""
+    directory = tmp_path_factory.mktemp("cli") / "camp"
+    assert main(["campaign", "run", "--dir", str(directory), "--epochs", "2", *ARGS]) == 0
+    return directory
+
+
+class TestRun:
+    def test_run_reports_progress_and_writes_report(self, campaign_dir, capsys):
+        assert (campaign_dir / "report.txt").is_file()
+        assert (campaign_dir / "trend.json").is_file()
+        assert (campaign_dir / "epochs" / "epoch-0001" / "summary.json").is_file()
+
+    def test_run_refuses_existing_archive(self, campaign_dir, capsys):
+        code = main(["campaign", "run", "--dir", str(campaign_dir), "--epochs", "1", *ARGS])
+        assert code == 2
+        assert "already exists" in capsys.readouterr().err
+
+    def test_run_rejects_bad_epochs(self, tmp_path, capsys):
+        code = main(["campaign", "run", "--dir", str(tmp_path / "x"), "--epochs", "0", *ARGS])
+        assert code == 2
+
+    def test_run_rejects_unknown_timeline(self, tmp_path, capsys):
+        code = main(
+            ["campaign", "run", "--dir", str(tmp_path / "x"), "--epochs", "1",
+             "--timeline", "no-such", *ARGS]
+        )
+        assert code == 2
+        assert "unknown timeline" in capsys.readouterr().err
+
+
+class TestStatus:
+    def test_text_status(self, campaign_dir, capsys):
+        assert main(["campaign", "status", "--dir", str(campaign_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 complete" in out
+        assert "done" in out
+
+    def test_json_status(self, campaign_dir, capsys):
+        assert main(["campaign", "status", "--dir", str(campaign_dir), "--json"]) == 0
+        status = json.loads(capsys.readouterr().out)
+        assert status["completed_epochs"] == 2
+        assert status["merged_epochs"] == 2
+        assert status["complete"] is True
+        assert status["spec"]["timeline"] == "fresh-look"
+        assert len(status["years"]) == 2
+
+    def test_missing_archive_fails(self, tmp_path, capsys):
+        assert main(["campaign", "status", "--dir", str(tmp_path / "nope")]) == 2
+        assert "no campaign archive" in capsys.readouterr().err
+
+
+class TestReport:
+    def test_prints_trend_report(self, campaign_dir, capsys):
+        assert main(["campaign", "report", "--dir", str(campaign_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Longitudinal ECN campaign" in out
+        assert "fresh-look" in out
+        assert "2015.33" in out
+
+    def test_report_matches_archived_report(self, campaign_dir, capsys):
+        main(["campaign", "report", "--dir", str(campaign_dir)])
+        out = capsys.readouterr().out
+        assert out == (campaign_dir / "report.txt").read_text()
+
+    def test_dashboard_written(self, campaign_dir, capsys):
+        assert main(["campaign", "report", "--dir", str(campaign_dir), "--dashboard"]) == 0
+        html = (campaign_dir / "dashboard.html").read_text()
+        assert "Longitudinal trend" in html
+
+    def test_missing_archive_fails(self, tmp_path, capsys):
+        assert main(["campaign", "report", "--dir", str(tmp_path / "nope")]) == 2
+
+
+class TestResume:
+    def test_resume_of_complete_campaign_is_noop(self, campaign_dir, capsys):
+        assert main(["campaign", "resume", "--dir", str(campaign_dir)]) == 0
+        assert "ran 0 epoch(s), 2/2 complete" in capsys.readouterr().out
+
+    def test_resume_missing_archive_fails(self, tmp_path, capsys):
+        assert main(["campaign", "resume", "--dir", str(tmp_path / "nope")]) == 2
+        assert "no campaign archive" in capsys.readouterr().err
+
+    def test_resume_refuses_tampered_epoch(self, campaign_dir, capsys):
+        summary = campaign_dir / "epochs" / "epoch-0000" / "summary.json"
+        original = summary.read_text()
+        try:
+            summary.write_text(original.replace("{", '{"tampered": 1,', 1))
+            assert main(["campaign", "resume", "--dir", str(campaign_dir)]) == 2
+            assert "digest mismatch" in capsys.readouterr().err
+        finally:
+            summary.write_text(original)

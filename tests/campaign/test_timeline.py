@@ -1,0 +1,166 @@
+"""Drift-model tests: interpolation, purity, parameter rewriting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenario.parameters import params_for_scale
+from repro.scenario.timeline import (
+    FRESH_LOOK,
+    FRESH_LOOK_YEAR,
+    FROZEN,
+    PAPER_YEAR,
+    EpochDrift,
+    TimelineError,
+    apply_drift,
+    drifted_params,
+    epoch_world_seed,
+    piecewise_linear,
+    timeline_by_name,
+)
+
+
+class TestPiecewiseLinear:
+    def test_interpolates_between_anchors(self):
+        anchors = ((2015.0, 1.0), (2023.0, 0.2))
+        assert piecewise_linear(anchors, 2019.0) == pytest.approx(0.6)
+
+    def test_clamps_outside_anchor_range(self):
+        anchors = ((2015.0, 1.0), (2023.0, 0.2))
+        assert piecewise_linear(anchors, 1999.0) == 1.0
+        assert piecewise_linear(anchors, 2040.0) == pytest.approx(0.2)
+
+    def test_single_anchor_is_constant(self):
+        assert piecewise_linear(((2015.0, 0.7),), 2030.0) == 0.7
+
+    def test_empty_anchors_rejected(self):
+        with pytest.raises(TimelineError):
+            piecewise_linear((), 2015.0)
+
+
+class TestTimeline:
+    def test_fresh_look_endpoints_match_the_papers(self):
+        at_2015 = FRESH_LOOK.drift_at(PAPER_YEAR)
+        assert at_2015.bleacher_scale == 1.0
+        assert at_2015.negotiate_rate == pytest.approx(0.82)
+        at_2022 = FRESH_LOOK.drift_at(FRESH_LOOK_YEAR)
+        assert at_2022.bleacher_scale == pytest.approx(0.12)
+        assert at_2022.negotiate_rate == pytest.approx(0.935)
+        # Bleaching collapses faster than hard blackholing declines.
+        assert at_2022.bleacher_scale < at_2022.blackhole_scale
+
+    def test_frozen_timeline_never_drifts(self):
+        for year in (PAPER_YEAR, 2020.0, 2035.0):
+            drift = FROZEN.drift_at(year)
+            assert drift.bleacher_scale == 1.0
+            assert drift.negotiate_rate == pytest.approx(0.82)
+
+    def test_drift_for_epoch_is_pure(self):
+        a = FRESH_LOOK.drift_for_epoch(seed=42, epoch=3)
+        b = FRESH_LOOK.drift_for_epoch(seed=42, epoch=3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_pool_churn_sets_distinct_world_seeds(self):
+        seeds = {
+            FRESH_LOOK.drift_for_epoch(seed=42, epoch=n).world_seed
+            for n in range(8)
+        }
+        assert None not in seeds
+        assert len(seeds) == 8
+
+    def test_no_pool_churn_keeps_campaign_seed(self):
+        drift = FRESH_LOOK.drift_for_epoch(seed=42, epoch=3, pool_churn=False)
+        assert drift.world_seed is None
+
+    def test_negative_epoch_rejected(self):
+        with pytest.raises(TimelineError):
+            FRESH_LOOK.drift_for_epoch(seed=1, epoch=-1)
+
+    def test_unknown_timeline_name(self):
+        with pytest.raises(TimelineError, match="unknown timeline"):
+            timeline_by_name("no-such-timeline")
+
+
+class TestEpochWorldSeed:
+    def test_pure_and_distinct(self):
+        assert epoch_world_seed(7, 0) == epoch_world_seed(7, 0)
+        assert epoch_world_seed(7, 0) != epoch_world_seed(7, 1)
+        assert epoch_world_seed(7, 0) != epoch_world_seed(8, 0)
+
+    def test_fits_in_31_bits(self):
+        for epoch in range(32):
+            assert 0 <= epoch_world_seed(20150401, epoch) < 2**31
+
+
+class TestEpochDrift:
+    def test_json_round_trip_is_exact(self):
+        drift = FRESH_LOOK.drift_for_epoch(seed=42, epoch=5)
+        wire = json.loads(json.dumps(drift.to_dict()))
+        restored = EpochDrift.from_dict(wire)
+        assert restored == drift
+        assert hash(restored) == hash(drift)
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(TimelineError):
+            EpochDrift.from_dict({"no": "year"})
+        with pytest.raises(TimelineError):
+            EpochDrift.from_dict({"year": "not-a-number"})
+
+
+class TestApplyDrift:
+    def test_none_drift_is_the_legacy_mapping(self):
+        assert drifted_params(0.1, 7, None) == params_for_scale(0.1, 7)
+
+    def test_collapse_scales_middlebox_population(self):
+        params = params_for_scale(0.1, 7)
+        drift = EpochDrift(
+            year=2022.5, bleacher_scale=0.12, blackhole_scale=0.45
+        )
+        drifted = apply_drift(params, drift)
+        assert drifted.middleboxes.bleacher_router_fraction == pytest.approx(
+            params.middleboxes.bleacher_router_fraction * 0.12
+        )
+        assert (
+            drifted.middleboxes.udp_ect_blocked_servers
+            < params.middleboxes.udp_ect_blocked_servers
+        )
+        # Floors: a collapse never zeroes a middlebox class entirely.
+        assert drifted.middleboxes.udp_ect_blocked_servers >= 1
+        assert drifted.middleboxes.flaky_ect_blocked_servers >= 1
+        assert (
+            drifted.middleboxes.any_ect_blocked_servers
+            <= drifted.middleboxes.udp_ect_blocked_servers
+        )
+
+    def test_negotiate_rate_is_absolute_and_capped(self):
+        params = params_for_scale(0.1, 7)
+        drifted = apply_drift(params, EpochDrift(year=2030.0, negotiate_rate=0.999))
+        # Stays clear of the reflect/drop-syn shares (deployment raises
+        # if the policy mix exceeds 1.0).
+        assert drifted.servers.ecn_negotiate_fraction == pytest.approx(0.98)
+        total = (
+            drifted.servers.ecn_negotiate_fraction
+            + drifted.servers.ecn_reflect_fraction
+            + drifted.servers.ecn_drop_syn_fraction
+        )
+        assert total <= 1.0
+
+    def test_world_seed_replaces_scenario_seed(self):
+        params = params_for_scale(0.1, 7)
+        drifted = apply_drift(params, EpochDrift(year=2016.0, world_seed=12345))
+        assert drifted.seed == 12345
+        unchurned = apply_drift(params, EpochDrift(year=2016.0))
+        assert unchurned.seed == 7
+
+    def test_drifted_world_builds_with_same_population(self):
+        from repro.scenario.internet import SyntheticInternet
+
+        base = SyntheticInternet(drifted_params(0.02, 7, None))
+        drift = FRESH_LOOK.drift_for_epoch(seed=7, epoch=7, pool_churn=False)
+        drifted = SyntheticInternet(drifted_params(0.02, 7, drift))
+        # Drift rewrites behaviour rates, not the population size.
+        assert len(drifted.servers) == len(base.servers)
+        assert drifted.params.middleboxes != base.params.middleboxes

@@ -113,3 +113,65 @@ class TestMigration:
         _, added = migrate_results_root(tmp_path)
         assert added == []
         assert StudyIndex(tmp_path).get("study-a")["seed"] == 99
+
+
+class TestCampaignMigration:
+    def make_campaign(self, root, name, epochs=2, scale=0.02, seed=7):
+        directory = root / name
+        (directory / "epochs").mkdir(parents=True)
+        (directory / "campaign.json").write_text(
+            json.dumps(
+                {
+                    "format": "ecn-udp-campaign/1",
+                    "spec": {"scale": scale, "seed": seed},
+                    "target_epochs": epochs,
+                }
+            )
+        )
+        for epoch in range(epochs):
+            epoch_dir = directory / "epochs" / f"epoch-{epoch:04d}"
+            epoch_dir.mkdir()
+            (epoch_dir / "manifest.json").write_text(
+                json.dumps({"scale": scale, "seed": seed})
+            )
+        return directory
+
+    def test_adopts_campaign_and_member_epochs(self, tmp_path):
+        self.make_campaign(tmp_path, "drift")
+        index, added = migrate_results_root(tmp_path)
+        assert added == ["drift", "drift/epoch-0000", "drift/epoch-0001"]
+        entry = index.get("drift")
+        assert entry["kind"] == "campaign"
+        assert entry["epochs"] == ["drift/epoch-0000", "drift/epoch-0001"]
+        epoch = index.get("drift/epoch-0000")
+        assert epoch["campaign"] == "drift"
+        assert index.directory("drift/epoch-0000") == (
+            tmp_path / "drift" / "epochs" / "epoch-0000"
+        )
+
+    def test_campaign_migration_is_idempotent(self, tmp_path):
+        self.make_campaign(tmp_path, "drift")
+        migrate_results_root(tmp_path)
+        _, added = migrate_results_root(tmp_path)
+        assert added == []
+
+    def test_extended_campaign_gains_only_new_epochs(self, tmp_path):
+        directory = self.make_campaign(tmp_path, "drift", epochs=2)
+        migrate_results_root(tmp_path)
+        epoch_dir = directory / "epochs" / "epoch-0002"
+        epoch_dir.mkdir()
+        (epoch_dir / "manifest.json").write_text(json.dumps({"scale": 0.02}))
+        index, added = migrate_results_root(tmp_path)
+        assert added == ["drift/epoch-0002"]
+        assert index.get("drift")["epochs"] == [
+            "drift/epoch-0000",
+            "drift/epoch-0001",
+            "drift/epoch-0002",
+        ]
+
+    def test_foreign_campaign_manifest_skipped(self, tmp_path):
+        directory = tmp_path / "odd"
+        directory.mkdir()
+        (directory / "campaign.json").write_text(json.dumps({"format": "other/1"}))
+        _, added = migrate_results_root(tmp_path)
+        assert added == []

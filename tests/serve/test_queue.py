@@ -3,13 +3,16 @@
 import pytest
 
 from repro.serve.queue import (
+    MAX_CAMPAIGN_EPOCHS,
     QUEUE_FORMAT,
+    CampaignJob,
     QueueFull,
     QuotaExceeded,
     StudyParams,
     StudyQueue,
     Submission,
     ValidationError,
+    validate_campaign,
     validate_params,
     validate_priority,
     validate_tenant,
@@ -200,3 +203,61 @@ class TestPersistence:
         with pytest.raises(QueueFull):
             tight.restore(snapshot)
         assert tight.queued_count == 2  # the admissible prefix survived
+
+
+class TestValidateCampaign:
+    def test_minimal(self):
+        job = validate_campaign({"epochs": 3})
+        assert job == CampaignJob(epochs=3)
+        assert job.timeline == "fresh-look"
+        assert job.pool_churn is True
+        assert job.id is None
+
+    def test_full(self):
+        job = validate_campaign(
+            {
+                "epochs": 2,
+                "start_year": 2020,
+                "cadence_years": 0.5,
+                "timeline": "frozen",
+                "pool_churn": False,
+                "id": "drift-watch",
+            }
+        )
+        assert job.start_year == 2020.0
+        assert job.cadence_years == 0.5
+        assert job.timeline == "frozen"
+        assert job.pool_churn is False
+        assert job.id == "drift-watch"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not-a-dict",
+            {},  # epochs required
+            {"epochs": 0},
+            {"epochs": True},
+            {"epochs": "3"},
+            {"epochs": MAX_CAMPAIGN_EPOCHS + 1},
+            {"epochs": 1, "start_year": "soon"},
+            {"epochs": 1, "cadence_years": 0},
+            {"epochs": 1, "cadence_years": True},
+            {"epochs": 1, "timeline": "no-such"},
+            {"epochs": 1, "pool_churn": "yes"},
+            {"epochs": 1, "id": ".hidden"},
+            {"epochs": 1, "id": "spaced out"},
+            {"epochs": 1, "id": "x" * 65},
+            {"epochs": 1, "epocs": 2},  # unknown field
+        ],
+    )
+    def test_bad_payloads_rejected(self, payload):
+        with pytest.raises(ValidationError):
+            validate_campaign(payload)
+
+    def test_campaign_rides_in_study_params(self):
+        params = validate_params({"scale": 0.02, "campaign": {"epochs": 2, "id": "c1"}})
+        assert params.campaign == CampaignJob(epochs=2, id="c1")
+        assert StudyParams.from_dict(params.to_dict()) == params
+
+    def test_campaign_to_dict_is_sparse(self):
+        assert CampaignJob(epochs=2).to_dict() == {"epochs": 2}
