@@ -17,6 +17,11 @@ Span recording gets its own gate: epoch-detail spans touch one context
 switch and one span per measurement epoch, so turning them on must
 cost at most ``--span-budget`` (default 5 %) over a spans-off run.
 
+The structured event log gets the same treatment: events touch one
+context switch per epoch plus a handful of emissions per shard, so
+``collect_events=True`` must cost at most ``--event-budget`` (default
+5 %) over an events-off run.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/check_obs_overhead.py [--scale 0.03]
@@ -60,6 +65,7 @@ def best_of(
     seed: int,
     collect_metrics: bool,
     record_spans: bool = False,
+    collect_events: bool = False,
 ) -> float:
     timings = []
     for _ in range(runs):
@@ -69,6 +75,7 @@ def best_of(
             seed=seed,
             collect_metrics=collect_metrics,
             record_spans=record_spans,
+            collect_events=collect_events,
         )
         timings.append(time.perf_counter() - started)
     return min(timings)
@@ -90,6 +97,12 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=0.05,
         help="max tolerated cost of epoch-detail span recording (fraction)",
+    )
+    parser.add_argument(
+        "--event-budget",
+        type=float,
+        default=0.05,
+        help="max tolerated cost of structured event logging (fraction)",
     )
     args = parser.parse_args(argv)
 
@@ -131,6 +144,23 @@ def main(argv: list[str] | None = None) -> int:
         )
         failed = True
 
+    events_on = best_of(
+        args.runs, args.scale, args.seed, collect_metrics=False, collect_events=True
+    )
+    event_overhead = events_on / disabled - 1.0
+    print(
+        f"event logging best {events_on:.2f}s; "
+        f"overhead vs events-off: {event_overhead:+.1%} "
+        f"(budget {args.event_budget:.0%})"
+    )
+    if event_overhead > args.event_budget:
+        print(
+            "FAIL: structured event logging costs more than its budget — "
+            "emission is doing per-packet-scale work on the epoch path",
+            file=sys.stderr,
+        )
+        failed = True
+
     write_step_summary(
         f"Observability overhead (scale={args.scale}, best of {args.runs})",
         ["configuration", "best (s)", "overhead vs reference", "budget", "verdict"],
@@ -156,11 +186,18 @@ def main(argv: list[str] | None = None) -> int:
                 f"{args.span_budget:.0%}",
                 "FAIL" if span_overhead > args.span_budget else "ok",
             ],
+            [
+                "events on (reference: events off)",
+                f"{events_on:.2f}",
+                f"{event_overhead:+.1%}",
+                f"{args.event_budget:.0%}",
+                "FAIL" if event_overhead > args.event_budget else "ok",
+            ],
         ],
     )
     if failed:
         return 1
-    print("OK: disabled observability and span recording are within budget")
+    print("OK: disabled observability, spans, and events are within budget")
     return 0
 
 

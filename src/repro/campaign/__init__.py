@@ -14,9 +14,12 @@ archive byte-identical to an uninterrupted run.
   self-kill hook the campaign-smoke CI lane uses
 - :mod:`~repro.campaign.report` — trend points, the Figure-6-style
   trend report, machine-readable status
+- :mod:`~repro.campaign.watch` — the SLO watchdog: declarative rules
+  over the trend, persisted to ``alerts.jsonl``
 """
 
 from .archive import (
+    ALERTS_NAME,
     CAMPAIGN_FORMAT,
     TREND_FORMAT,
     CampaignArchive,
@@ -26,17 +29,23 @@ from .archive import (
 )
 from .driver import KILL_ENV, CampaignDriver
 from .report import campaign_status, render_trend_report, trend_point
+from .watch import DEFAULT_RULES, SloRule, evaluate_rules, wall_time_regression
 
 __all__ = [
+    "ALERTS_NAME",
     "CAMPAIGN_FORMAT",
     "CampaignArchive",
     "CampaignDriver",
     "CampaignError",
     "CampaignSpec",
     "CheckpointRecord",
+    "DEFAULT_RULES",
     "KILL_ENV",
+    "SloRule",
     "TREND_FORMAT",
     "campaign_status",
+    "evaluate_rules",
     "render_trend_report",
     "trend_point",
+    "wall_time_regression",
 ]

@@ -64,6 +64,7 @@ MANIFEST_NAME = "campaign.json"
 CHECKPOINTS_NAME = "checkpoints.jsonl"
 TREND_NAME = "trend.json"
 REPORT_NAME = "report.txt"
+ALERTS_NAME = "alerts.jsonl"
 EPOCHS_DIRNAME = "epochs"
 
 
@@ -478,6 +479,43 @@ class CampaignArchive:
             "points": sorted(points, key=lambda p: p["epoch"]),
         }
         atomic_write_text(self.trend_path, json.dumps(document, indent=2))
+
+    # ------------------------------------------------------------------
+    # Derived artefacts: watchdog alerts
+    # ------------------------------------------------------------------
+    @property
+    def alerts_path(self) -> Path:
+        return self.directory / ALERTS_NAME
+
+    def alerts(self) -> list[dict]:
+        """The persisted SLO breaches, oldest epoch first."""
+        path = self.alerts_path
+        if not path.exists():
+            return []
+        from ..obs import parse_events_jsonl
+
+        try:
+            return parse_events_jsonl(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CampaignError(f"unreadable {path}: {exc}") from exc
+
+    def refresh_alerts(self) -> list[dict]:
+        """Re-evaluate the SLO rules and rewrite ``alerts.jsonl``.
+
+        Like the trend and the report, the alert file is a derived
+        artefact rebuilt from scratch: a pure function of the trend
+        points and the spec's timeline, written atomically, so
+        interrupted and uninterrupted campaigns converge on identical
+        bytes.  The file exists (possibly empty) whenever at least one
+        evaluation ran — "no alerts" and "never evaluated" stay
+        distinguishable.
+        """
+        from ..obs import render_events_jsonl
+        from .watch import evaluate_rules
+
+        alerts = evaluate_rules(self.trend_points(), self.spec.timeline_obj)
+        atomic_write_text(self.alerts_path, render_events_jsonl(alerts))
+        return alerts
 
     def merge_epoch(self, record: CheckpointRecord) -> bool:
         """Delta-merge one recorded epoch into ``trend.json``.

@@ -26,12 +26,14 @@ from __future__ import annotations
 
 import os
 import signal
+import time
 from pathlib import Path
 
 from ..core.measurement import ProgressFn
 from ..study import Study
 from .archive import CampaignArchive, CampaignError, CampaignSpec, CheckpointRecord
 from .report import render_trend_report
+from .watch import wall_time_regression
 
 #: Env var arming the self-kill hook: ``"<epoch>:<phase>"``.
 KILL_ENV = "ECNUDP_CAMPAIGN_KILL"
@@ -64,11 +66,20 @@ class CampaignDriver:
         workers: int = 0,
         pool=None,
         progress: ProgressFn | None = None,
+        events=None,
     ) -> None:
         self.archive = archive
         self.workers = workers
         self.pool = pool
         self.progress = progress
+        #: Live event log (or the server's run-scoped view) the driver
+        #: narrates epoch lifecycle and SLO breaches into.  Wall-clock
+        #: side only — the deterministic alert record is
+        #: ``alerts.jsonl``, written by :meth:`CampaignArchive.refresh_alerts`.
+        self.events = events
+        #: ``(rule, epoch)`` pairs already narrated, so re-merges do
+        #: not re-announce old breaches into the live log.
+        self._alerted: set[tuple[str, int]] = set()
 
     # ------------------------------------------------------------------
     # Entry points
@@ -82,9 +93,12 @@ class CampaignDriver:
         workers: int = 0,
         pool=None,
         progress: ProgressFn | None = None,
+        events=None,
     ) -> "CampaignDriver":
         archive = CampaignArchive.create(directory, spec, target_epochs)
-        return cls(archive, workers=workers, pool=pool, progress=progress)
+        return cls(
+            archive, workers=workers, pool=pool, progress=progress, events=events
+        )
 
     @classmethod
     def resume(
@@ -94,6 +108,7 @@ class CampaignDriver:
         workers: int = 0,
         pool=None,
         progress: ProgressFn | None = None,
+        events=None,
     ) -> "CampaignDriver":
         """Reopen an archive, validate it, and clear crash leftovers.
 
@@ -107,11 +122,27 @@ class CampaignDriver:
         """
         archive = CampaignArchive.load(directory)
         records = archive.checkpoints()
-        archive.verify(records)
-        archive.clean_interrupted(records)
+        try:
+            archive.verify(records)
+        except CampaignError as exc:
+            if events:
+                events.emit("campaign-digest-mismatch", "alert", error=str(exc))
+            raise
+        discarded = archive.clean_interrupted(records)
         if target_epochs is not None:
             archive.extend_target(target_epochs)
-        return cls(archive, workers=workers, pool=pool, progress=progress)
+        if events:
+            events.emit(
+                "campaign-resume",
+                "info",
+                campaign=archive.directory.name,
+                completed=len(records),
+                target=archive.target_epochs,
+                discarded=discarded,
+            )
+        return cls(
+            archive, workers=workers, pool=pool, progress=progress, events=events
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -126,16 +157,45 @@ class CampaignDriver:
         """
         executed = 0
         records = self.archive.checkpoints()
+        durations: list[tuple[int, float]] = []
         for epoch in range(len(records), self.archive.target_epochs):
+            started = time.perf_counter()
             records.append(self._run_epoch(epoch))
+            durations.append((epoch, time.perf_counter() - started))
             executed += 1
         for record in records:
             self.archive.merge_epoch(record)
+        self._refresh_watchdog()
+        if self.events:
+            # Wall-time regressions are live-log-only: wall clocks can
+            # never join alerts.jsonl's byte-identity contract.
+            for breach in wall_time_regression(durations):
+                self.events.emit(
+                    "slo-breach",
+                    "alert",
+                    **{k: v for k, v in breach.items() if k not in ("level", "kind")},
+                )
         report = render_trend_report(self.archive)
         from ..ioutil import atomic_write_text
 
         atomic_write_text(self.archive.report_path, report)
         return executed
+
+    def _refresh_watchdog(self) -> list[dict]:
+        """Rebuild ``alerts.jsonl``; narrate new breaches to the live log."""
+        alerts = self.archive.refresh_alerts()
+        if self.events:
+            for alert in alerts:
+                key = (alert["rule"], alert["epoch"])
+                if key in self._alerted:
+                    continue
+                self._alerted.add(key)
+                self.events.emit(
+                    "slo-breach",
+                    "alert",
+                    **{k: v for k, v in alert.items() if k not in ("level", "kind")},
+                )
+        return alerts
 
     def _run_epoch(self, epoch: int) -> CheckpointRecord:
         archive = self.archive
@@ -160,7 +220,16 @@ class CampaignDriver:
         )
         archive.record_epoch(record)
         _maybe_kill(epoch, "checkpointed")
+        if self.events:
+            self.events.emit(
+                "epoch-publish",
+                "info",
+                campaign=archive.directory.name,
+                epoch=epoch,
+                year=round(drift.year, 3),
+            )
         archive.merge_epoch(record)
+        self._refresh_watchdog()
         return record
 
     def _materialise_epoch(self, epoch: int, drift, directory: Path) -> None:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from ..reporting.figures import time_series
 from ..stats.timeseries import linear_trend
 from .archive import CampaignArchive, CheckpointRecord
+from .watch import evaluate_rules
 
 
 def trend_point(record: CheckpointRecord, summary: dict) -> dict:
@@ -96,6 +97,25 @@ def render_trend_report(archive: CampaignArchive) -> str:
             f"negotiation {neg_slope:+.2f} pp, "
             f"ECT blackholing {hole_slope:+.2f} pp"
         )
+
+    # Recomputed, not read from alerts.jsonl: the report is a pure
+    # function of the trend points, and both artefacts derive from the
+    # same rule evaluation, so they can never disagree.
+    alerts = evaluate_rules(points, spec.timeline_obj)
+    if alerts:
+        lines.append("")
+        lines.append(f"SLO watchdog: {len(alerts)} breach(es)")
+        for alert in alerts:
+            # baseline-ratio deltas are percent-of-baseline, the other
+            # modes percentage points.
+            unit = "%" if alert["mode"] == "baseline-ratio" else " pp"
+            lines.append(
+                f"  epoch {alert['epoch']:>3d} ({alert['year']:.2f})  "
+                f"{alert['rule']}: {alert['metric']} {alert['value']:.2f} "
+                f"vs {alert['reference']:.2f} "
+                f"(delta {alert['delta_pp']:+.2f}{unit}, "
+                f"threshold {alert['threshold_pp']:g}{unit})"
+            )
     return "\n".join(lines) + "\n"
 
 
@@ -105,6 +125,11 @@ def campaign_status(archive: CampaignArchive) -> dict:
     merged = {p.get("epoch") for p in archive.trend_points()} if (
         archive.trend_path.exists()
     ) else set()
+    alerts = archive.alerts() if archive.alerts_path.exists() else []
+    by_rule: dict[str, int] = {}
+    for alert in alerts:
+        rule = alert.get("rule", "?")
+        by_rule[rule] = by_rule.get(rule, 0) + 1
     return {
         "directory": str(archive.directory),
         "spec": archive.spec.to_dict(),
@@ -114,4 +139,6 @@ def campaign_status(archive: CampaignArchive) -> dict:
         "complete": len(records) >= archive.target_epochs,
         "next_epoch": len(records) if len(records) < archive.target_epochs else None,
         "years": [round(r.year, 3) for r in records],
+        "alerts": len(alerts),
+        "alerts_by_rule": {rule: by_rule[rule] for rule in sorted(by_rule)},
     }

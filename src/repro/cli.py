@@ -164,6 +164,7 @@ def cmd_study(args: argparse.Namespace) -> int:
     metrics_snapshot = None
     telemetry = None
     spans = None
+    events_list = None
     tracer = PathTracer(match=trace_filter) if trace_filter is not None else None
     if workers > 0:
         from .runner import run_study_parallel
@@ -171,6 +172,7 @@ def cmd_study(args: argparse.Namespace) -> int:
         print(f"running sharded across {args.workers} workers", file=sys.stderr)
         telemetry = RunTelemetry() if args.metrics else None
         span_sink: list = []
+        event_sink: list = []
         traces, campaign = run_study_parallel(
             scale=args.scale,
             seed=args.seed,
@@ -182,12 +184,15 @@ def cmd_study(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             span_detail=span_detail,
             span_sink=span_sink if span_detail is not None else None,
+            event_sink=event_sink if args.events else None,
             flight_dir=obs_dir,
             profile_dir=obs_dir if profile else None,
             quic=args.quic,
         )
         if span_detail is not None:
             spans = span_sink
+        if args.events:
+            events_list = event_sink
         if telemetry is not None:
             metrics_snapshot = telemetry.metrics
     else:
@@ -204,6 +209,16 @@ def cmd_study(args: argparse.Namespace) -> int:
                 context_map=shard_context_map(world.params.schedule),
             )
             world.set_span_recorder(recorder)
+        event_log = None
+        if args.events:
+            from .obs import EventLog
+            from .runner.shard import shard_context_map
+
+            event_log = EventLog(
+                stamp_wall=False,
+                context_map=shard_context_map(world.params.schedule),
+            )
+            world.set_event_log(event_log)
         if fault_plan is not None:
             world.install_fault_plan(fault_plan)
         profiler = None
@@ -223,10 +238,14 @@ def cmd_study(args: argparse.Namespace) -> int:
                 world.network.set_observability(None, None)
             if recorder is not None:
                 world.set_span_recorder(None)
+            if event_log is not None:
+                world.set_event_log(None)
             if fault_plan is not None:
                 world.install_fault_plan(None)
         if recorder is not None:
             spans = recorder.export()
+        if event_log is not None:
+            events_list = event_log.export()
         if profiler is not None:
             out = Path(obs_dir)
             out.mkdir(parents=True, exist_ok=True)
@@ -261,6 +280,13 @@ def cmd_study(args: argparse.Namespace) -> int:
 
             export_spans_json(out / "spans.json", spans)
             export_chrome_trace(spans, out / "trace.json")
+        if events_list is not None:
+            from .obs import canonical_events, render_events_jsonl
+
+            atomic_write_text(
+                out / "events.jsonl",
+                render_events_jsonl(canonical_events(events_list)),
+            )
         export_figure_data(
             out / "figures", reach, tcp, diff_a, diff_b, tcp.pct_negotiated
         )
@@ -289,6 +315,11 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         snapshot = json.loads(metrics_path.read_text())
     except (OSError, ValueError) as exc:
         return _fail(f"unreadable {metrics_path}: {exc}")
+    if getattr(args, "format", "text") == "prometheus":
+        from .obs import render_prometheus
+
+        print(render_prometheus(snapshot), end="")
+        return 0
     telemetry = None
     telemetry_path = study / "telemetry.json"
     if telemetry_path.exists():
@@ -625,6 +656,11 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
     )
     if status["years"]:
         print("  years: " + ", ".join(f"{y:.2f}" for y in status["years"]))
+    if status["alerts"]:
+        by_rule = ", ".join(
+            f"{rule}={count}" for rule, count in status["alerts_by_rule"].items()
+        )
+        print(f"  SLO alerts: {status['alerts']} ({by_rule})")
     return 0
 
 
@@ -696,6 +732,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "identical for any --workers value); with "
                             "--out also writes spans.json + trace.json "
                             "(Perfetto / chrome://tracing)")
+    study.add_argument("--events", action="store_true",
+                       help="record the structured event log (epoch "
+                            "starts, chaos installations; canonical "
+                            "form identical for any --workers value); "
+                            "with --out also writes events.jsonl")
     study.add_argument("--profile", action="store_true",
                        help="capture cProfile stats per shard (or one "
                             "sequential profile) into --out")
@@ -721,6 +762,11 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="render a saved study's metrics and telemetry"
     )
     metrics.add_argument("--study", type=str, required=True)
+    metrics.add_argument("--format", choices=["text", "prometheus"],
+                         default="text",
+                         help="output format: human-readable report, or "
+                              "Prometheus text exposition 0.0.4 (counters, "
+                              "gauges and histograms from metrics.json)")
     metrics.set_defaults(func=cmd_metrics)
 
     discover = sub.add_parser("discover", help="run pool discovery only")

@@ -112,10 +112,21 @@ class MeasurementApplication:
         probe = self.probe_params
         spans = self.world.spans
         phased = spans if spans and spans.detail == DETAIL_PROBE else None
+        metrics = self.world.network.metrics
+        # Per-family probe-duration histograms, in *sim-time*: each
+        # probe drives the scheduler to completion, so the elapsed sim
+        # clock is a pure function of the epoch — shard merges of these
+        # histograms are bit-identical to a sequential run.
+        clock = self.world.network.scheduler
+
+        def observe(name: str, started: float) -> None:
+            if metrics:
+                metrics.observe(f"app.rtt.{name}", clock.now - started)
 
         def phase(name: str):
             return phased.span("phase", name) if phased else nullcontext()
 
+        phase_start = clock.now
         with phase("udp-plain"):
             udp_plain = probe_udp(
                 vantage_host,
@@ -128,6 +139,8 @@ class MeasurementApplication:
                 phased.annotate(
                     responded=udp_plain.responded, attempts=udp_plain.attempts
                 )
+        observe("udp_plain", phase_start)
+        phase_start = clock.now
         with phase("udp-ect"):
             udp_ect = probe_udp(
                 vantage_host,
@@ -138,20 +151,26 @@ class MeasurementApplication:
             )
             if phased:
                 phased.annotate(responded=udp_ect.responded, attempts=udp_ect.attempts)
+        observe("udp_ect", phase_start)
+        phase_start = clock.now
         with phase("tcp-plain"):
             tcp_plain = probe_tcp(
                 vantage_host, server_addr, use_ecn=False, deadline=probe.http_deadline
             )
             if phased:
                 phased.annotate(ok=tcp_plain.ok)
+        observe("tcp_plain", phase_start)
+        phase_start = clock.now
         with phase("tcp-ecn"):
             tcp_ecn = probe_tcp(
                 vantage_host, server_addr, use_ecn=True, deadline=probe.http_deadline
             )
             if phased:
                 phased.annotate(ok=tcp_ecn.ok, negotiated=tcp_ecn.ecn_negotiated)
+        observe("tcp_ecn", phase_start)
         quic_outcome = None
         if self.quic:
+            phase_start = clock.now
             with phase("quic"):
                 raw = probe_quic(vantage_host, server_addr, params=probe)
                 state = classify_probe(raw)
@@ -165,11 +184,11 @@ class MeasurementApplication:
                     ect1_echoed=raw.ect1_echoed,
                     ce_echoed=raw.ce_echoed,
                 )
-                metrics = self.world.network.metrics
                 if metrics:
                     metrics.incr(f"app.quic.{state}")
                 if phased:
                     phased.annotate(state=state, acked=raw.packets_acked)
+            observe(f"quic.{state}", phase_start)
         return ProbeOutcome(
             server_addr=server_addr,
             udp_plain=udp_plain.responded,
@@ -226,6 +245,7 @@ class MeasurementApplication:
         total = progress_total if progress_total is not None else len(planned)
         traces: list[Trace] = []
         spans = self.world.spans
+        events = self.world.events
         for index, entry in enumerate(planned):
             if progress is not None:
                 progress(index, total, entry.vantage_key)
@@ -234,6 +254,17 @@ class MeasurementApplication:
                 # (vantage, batch) slice before minting span ids, so
                 # sequential and sharded runs agree on every id.
                 spans.enter_context(CTX_TRACES, entry.vantage_key, entry.batch)
+            if events:
+                events.enter_context(CTX_TRACES, entry.vantage_key, entry.batch)
+                # Before begin_epoch, so the epoch-start event precedes
+                # the fault events installed for this epoch.
+                events.emit(
+                    "epoch-start",
+                    "debug",
+                    epoch=entry.trace_id,
+                    vantage=entry.vantage_key,
+                    batch=entry.batch,
+                )
             self.world.enter_batch(entry.batch)
             self.world.begin_epoch(entry.trace_id)
             metrics = self.world.network.metrics
@@ -306,6 +337,15 @@ class MeasurementApplication:
         spans = self.world.spans
         if spans:
             spans.enter_context(CTX_TRACEROUTES, vantage_key)
+        events = self.world.events
+        if events:
+            events.enter_context(CTX_TRACEROUTES, vantage_key)
+            events.emit(
+                "sweep-start",
+                "debug",
+                epoch=self.traceroute_epoch(vantage_key),
+                vantage=vantage_key,
+            )
         self.world.begin_epoch(self.traceroute_epoch(vantage_key))
         metrics = self.world.network.metrics
         if metrics:

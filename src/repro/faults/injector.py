@@ -61,6 +61,7 @@ class FaultInjector:
             return
         metrics = self.world.network.metrics
         spans = self.world.spans
+        event_log = self.world.events
         blackholed: set[str] = set()
         installed = 0
         for event in events:
@@ -76,6 +77,18 @@ class FaultInjector:
                     spans.event(
                         "fault",
                         kind=event.kind,
+                        target=str(event.target),
+                        epoch=index,
+                        magnitude=event.magnitude,
+                    )
+                if event_log:
+                    # begin_epoch runs between spans, so there is no
+                    # open span id to link; the epoch index is the
+                    # correlation key here.
+                    event_log.emit(
+                        "fault",
+                        "warning",
+                        fault=event.kind,
                         target=str(event.target),
                         epoch=index,
                         magnitude=event.magnitude,

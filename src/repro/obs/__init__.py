@@ -24,13 +24,38 @@ DESIGN.md's observability section for the overhead contract.
 from __future__ import annotations
 
 from .flight import DEFAULT_CAPACITY, FlightRecorder, load_flight_dump
+from .events import (
+    DEFAULT_EVENT_CAPACITY,
+    EVENTS_FORMAT,
+    LEVELS,
+    NULL_EVENTS,
+    EventLog,
+    NullEventLog,
+    assemble_study_events,
+    canonical_events,
+    level_rank,
+    parse_events_jsonl,
+    render_events_jsonl,
+)
 from .metrics import (
+    DURATION_BOUNDS,
     NULL_METRICS,
+    RTT_BOUNDS,
     MetricsRegistry,
     NullRegistry,
     empty_snapshot,
+    histogram_sum,
     merge_snapshots,
     proto_name,
+)
+from .prom import (
+    METRIC_PREFIX,
+    PROM_CONTENT_TYPE,
+    ExpositionError,
+    metric_name,
+    render_histogram_rows,
+    render_prometheus,
+    validate_exposition,
 )
 from .spans import (
     DETAIL_EPOCH,
@@ -66,39 +91,60 @@ from .telemetry import RunTelemetry, ShardRecord, render_metrics_report
 
 __all__ = [
     "DEFAULT_CAPACITY",
+    "DEFAULT_EVENT_CAPACITY",
     "DETAIL_EPOCH",
     "DETAIL_PROBE",
+    "DURATION_BOUNDS",
+    "EVENTS_FORMAT",
+    "EventLog",
+    "ExpositionError",
     "FilterError",
     "FlightRecorder",
+    "LEVELS",
+    "METRIC_PREFIX",
     "MetricsRegistry",
+    "NULL_EVENTS",
     "NULL_METRICS",
     "NULL_SPANS",
+    "NullEventLog",
     "NullRegistry",
     "NullSpanRecorder",
+    "PROM_CONTENT_TYPE",
     "PathEvent",
     "PathTracer",
     "ROOT_SPAN_ID",
+    "RTT_BOUNDS",
     "RunArtifacts",
     "RunTelemetry",
     "ShardRecord",
     "Span",
     "SpanRecorder",
+    "assemble_study_events",
     "assemble_study_spans",
+    "canonical_events",
     "canonical_spans",
     "chrome_trace_events",
     "dashboard_sections",
     "empty_snapshot",
     "export_chrome_trace",
     "group_flows",
+    "histogram_sum",
+    "level_rank",
     "load_flight_dump",
     "load_run_artifacts",
     "merge_snapshots",
+    "metric_name",
+    "parse_events_jsonl",
     "parse_filter",
     "proto_name",
     "render_dashboard_html",
     "render_dashboard_markdown",
+    "render_events_jsonl",
+    "render_histogram_rows",
     "render_metrics_report",
+    "render_prometheus",
     "span_children",
     "span_id",
+    "validate_exposition",
     "write_dashboard",
 ]

@@ -39,6 +39,10 @@ from pathlib import Path
 #: small study, a bounded sliver of a large one.
 DEFAULT_CAPACITY = 512
 
+#: How many structured events an attached EventLog contributes to a
+#: dump: the causal tail, not the whole stream.
+EVENT_TAIL_LIMIT = 64
+
 
 class FlightRecorder:
     """Bounded ring buffer of observability events, dumpable on crash."""
@@ -50,6 +54,18 @@ class FlightRecorder:
         self.label = label
         self._events: deque[dict] = deque(maxlen=capacity)
         self._recorded = 0
+        self._event_log = None
+
+    def attach_events(self, event_log) -> None:
+        """Attach a structured :class:`~repro.obs.events.EventLog`.
+
+        Every subsequent :meth:`dump` then embeds the log's bounded
+        tail (``event_tail``), so a crash dump carries not just the
+        recorder's own span/dispatch ring but the leveled, correlated
+        events the process emitted on the way down.  Falsey logs
+        (``NULL_EVENTS``) are ignored.
+        """
+        self._event_log = event_log if event_log else None
 
     def __bool__(self) -> bool:
         return True
@@ -104,6 +120,11 @@ class FlightRecorder:
             "events_recorded": self._recorded,
             "events": self.events(),
         }
+        if self._event_log is not None:
+            document["event_tail"] = self._event_log.tail(EVENT_TAIL_LIMIT)
+            dropped = self._event_log.dropped()
+            if dropped:
+                document["event_dropped"] = dropped
         if context:
             document["context"] = context
         try:

@@ -21,8 +21,14 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from .events import parse_events_jsonl
+from .prom import render_histogram_rows
+
 #: Span kinds shown in the per-phase timing table, coarse to fine.
 _PHASE_KINDS = ("shard", "trace", "sweep", "probe", "phase")
+
+#: Most recent events shown in the dashboard's event-log section.
+_EVENT_TAIL_ROWS = 20
 
 
 @dataclass
@@ -42,6 +48,10 @@ class RunArtifacts:
     #: (plain JSON) so the dashboard stays import-cycle-free.
     campaign: dict | None = None
     trend_points: list[dict] = field(default_factory=list)
+    #: Parsed ``events.jsonl`` (structured event log), oldest first.
+    events: list[dict] = field(default_factory=list)
+    #: Parsed campaign ``alerts.jsonl`` (SLO watchdog breaches).
+    alerts: list[dict] = field(default_factory=list)
 
 
 def _load_json(path: Path):
@@ -49,6 +59,14 @@ def _load_json(path: Path):
         return json.loads(path.read_text())
     except (OSError, ValueError):
         return None
+
+
+def _load_jsonl(path: Path) -> list[dict]:
+    """Best-effort JSONL load — the dashboard degrades, never raises."""
+    try:
+        return parse_events_jsonl(path.read_text())
+    except (OSError, ValueError):
+        return []
 
 
 def load_run_artifacts(study_dir: str | Path) -> RunArtifacts:
@@ -67,6 +85,7 @@ def load_run_artifacts(study_dir: str | Path) -> RunArtifacts:
         if isinstance(dump, dict):
             dump.setdefault("file", path.name)
             artifacts.flights.append(dump)
+    artifacts.events = _load_jsonl(directory / "events.jsonl")
     campaign_doc = _load_json(directory / "campaign.json")
     if isinstance(campaign_doc, dict) and str(
         campaign_doc.get("format", "")
@@ -75,6 +94,7 @@ def load_run_artifacts(study_dir: str | Path) -> RunArtifacts:
         trend_doc = _load_json(directory / "trend.json")
         if isinstance(trend_doc, dict) and isinstance(trend_doc.get("points"), list):
             artifacts.trend_points = trend_doc["points"]
+        artifacts.alerts = _load_jsonl(directory / "alerts.jsonl")
     return artifacts
 
 
@@ -232,6 +252,57 @@ def _survival_rows(summary: dict) -> list[list[str]]:
     return rows
 
 
+def _histogram_rows(artifacts: RunArtifacts) -> list[list[str]]:
+    """Deterministic sim-time histograms plus wall-clock telemetry ones."""
+    rows = [
+        ["sim", *row]
+        for row in render_histogram_rows(artifacts.metrics or {})
+    ]
+    wall = (artifacts.telemetry or {}).get("wall_histograms")
+    if wall:
+        rows.extend(
+            ["wall", *row] for row in render_histogram_rows({"histograms": wall})
+        )
+    return rows
+
+
+def _event_rows(events: list[dict], limit: int = _EVENT_TAIL_ROWS) -> list[list[str]]:
+    """The most recent structured events, one row each."""
+    rows = []
+    for event in events[-limit:]:
+        detail = " ".join(
+            f"{key}={event[key]}"
+            for key in sorted(event)
+            if key not in ("seq", "shard", "level", "kind", "wall", "span_id")
+        )
+        rows.append(
+            [
+                str(event.get("shard", "-")),
+                str(event.get("seq", "?")),
+                str(event.get("level", "?")),
+                str(event.get("kind", "?")),
+                detail,
+            ]
+        )
+    return rows
+
+
+def _alert_rows(alerts: list[dict]) -> list[list[str]]:
+    """SLO watchdog breaches, one row each."""
+    return [
+        [
+            str(alert.get("epoch", "?")),
+            _fmt(alert.get("year", 0.0), 2),
+            str(alert.get("rule", "?")),
+            str(alert.get("metric", "?")),
+            _fmt(alert.get("value", 0.0), 2),
+            _fmt(alert.get("reference", 0.0), 2),
+            f"{alert.get('delta_pp', 0.0):+.2f}",
+        ]
+        for alert in alerts
+    ]
+
+
 #: A dashboard section: (title, column headers, rows, empty-note).
 Section = tuple[str, list[str], list[list[str]], str]
 
@@ -292,6 +363,15 @@ def _campaign_sections(artifacts: RunArtifacts) -> list[Section]:
             "" if trend_rows else "no epochs merged into trend.json yet",
         )
     )
+    alert_rows = _alert_rows(artifacts.alerts)
+    sections.append(
+        (
+            "SLO alerts",
+            ["epoch", "year", "rule", "metric", "value", "reference", "delta pp"],
+            alert_rows,
+            "" if alert_rows else "no SLO breaches recorded in alerts.jsonl",
+        )
+    )
     return sections
 
 
@@ -348,6 +428,25 @@ def dashboard_sections(artifacts: RunArtifacts) -> list[Section]:
                 ["sim time", "epoch", "fault", "target", "magnitude"],
                 chaos_rows,
                 "" if chaos_rows else "chaotic run, but no spans captured fault events",
+            )
+        )
+    hist_rows = _histogram_rows(artifacts)
+    if hist_rows or artifacts.metrics is not None:
+        sections.append(
+            (
+                "Histograms",
+                ["domain", "histogram", "count", "mean", "min", "max"],
+                hist_rows,
+                "" if hist_rows else "metrics captured, but no histogram observations",
+            )
+        )
+    if artifacts.events:
+        sections.append(
+            (
+                "Event log (tail)",
+                ["shard", "seq", "level", "kind", "detail"],
+                _event_rows(artifacts.events),
+                "",
             )
         )
     if artifacts.summary:

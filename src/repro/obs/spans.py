@@ -266,6 +266,11 @@ class SpanRecorder:
         if self._stack:
             self._stack[-1].attrs.update(attrs)
 
+    @property
+    def current_span_id(self) -> str | None:
+        """Id of the innermost open span — the event-log correlation id."""
+        return self._stack[-1].id if self._stack else None
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
@@ -317,6 +322,10 @@ class NullSpanRecorder:
 
     def annotate(self, **attrs) -> None:
         pass
+
+    @property
+    def current_span_id(self) -> None:
+        return None
 
 
 #: Shared disabled-recorder sentinel.

@@ -21,7 +21,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .metrics import empty_snapshot, merge_snapshots
+from .metrics import (
+    DURATION_BOUNDS,
+    MetricsRegistry,
+    empty_snapshot,
+    histogram_sum,
+    merge_snapshots,
+)
 
 
 @dataclass(frozen=True)
@@ -76,6 +82,24 @@ class RunTelemetry:
         """Install the deterministic merge of per-shard snapshots."""
         self.metrics = merge_snapshots(snapshots)
 
+    def wall_histograms(self) -> dict:
+        """Wall-clock distribution of shard execution times.
+
+        Derived from the shard records at export time, in shard-id
+        order, so the same records always produce the same document —
+        but the *values* are wall clocks: these histograms live in the
+        telemetry half of the export, never in ``metrics``, and are
+        excluded from every determinism contract.
+        """
+        if not self.shards:
+            return {}
+        registry = MetricsRegistry()
+        for record in sorted(self.shards, key=lambda r: r.shard_id):
+            registry.observe(
+                "runner.shard_wall_seconds", record.elapsed, DURATION_BOUNDS
+            )
+        return registry.snapshot().get("histograms", {})
+
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
@@ -102,6 +126,9 @@ class RunTelemetry:
             ],
             "metrics": self.metrics,
         }
+        histograms = self.wall_histograms()
+        if histograms:
+            document["wall_histograms"] = histograms
         if self.chaos is not None:
             document["chaos"] = self.chaos
         return document
@@ -133,6 +160,23 @@ class RunTelemetry:
         return lines
 
 
+def histogram_lines(histograms: dict, indent: str = "  ") -> list[str]:
+    """Human-readable one-liners for snapshot histograms."""
+    lines = []
+    for name in sorted(histograms):
+        hist = histograms[name]
+        count = hist.get("count", 0)
+        mean = histogram_sum(hist) / count if count else 0.0
+        lo = hist.get("min")
+        hi = hist.get("max")
+        lines.append(
+            f"{indent}{name}  n={count} mean={mean:.4f}"
+            + ("" if lo is None else f" min={lo:.4f}")
+            + ("" if hi is None else f" max={hi:.4f}")
+        )
+    return lines
+
+
 def render_metrics_report(snapshot: dict, telemetry: RunTelemetry | None = None) -> str:
     """Format a metric snapshot (and optional telemetry) as a report."""
     lines = ["== Simulation metrics =="]
@@ -145,8 +189,18 @@ def render_metrics_report(snapshot: dict, telemetry: RunTelemetry | None = None)
         lines.append(f"  {name:<{width}}  {counters[name]}")
     for name in sorted(gauges):
         lines.append(f"  {name:<{width}}  {gauges[name]:g} (gauge)")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append("== Histograms (sim-time seconds) ==")
+        lines.extend(histogram_lines(histograms))
     if telemetry is not None:
         lines.append("")
         lines.append("== Run telemetry ==")
         lines.extend(telemetry.summary_lines())
+        wall = telemetry.wall_histograms()
+        if wall:
+            lines.append("")
+            lines.append("== Histograms (wall-clock seconds) ==")
+            lines.extend(histogram_lines(wall))
     return "\n".join(lines)

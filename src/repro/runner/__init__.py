@@ -37,6 +37,7 @@ from ..obs import (
     MetricsRegistry,
     RunTelemetry,
     ShardRecord,
+    assemble_study_events,
     assemble_study_spans,
     merge_snapshots,
 )
@@ -45,6 +46,7 @@ from ..scenario.timeline import EpochDrift, drifted_params
 from .merge import (
     MergeError,
     WIRE_FORMAT,
+    collect_shard_events,
     collect_shard_spans,
     decode_path,
     decode_trace,
@@ -85,6 +87,7 @@ __all__ = [
     "ShardScheduler",
     "SharedWorkerPool",
     "WIRE_FORMAT",
+    "collect_shard_events",
     "collect_shard_spans",
     "decode_path",
     "decode_trace",
@@ -115,6 +118,8 @@ def run_study_parallel(
     observe: bool | None = None,
     span_detail: str | None = None,
     span_sink: list | None = None,
+    event_sink: list | None = None,
+    event_log=None,
     flight_dir: str | Path | None = None,
     profile_dir: str | Path | None = None,
     pool: SharedWorkerPool | None = None,
@@ -166,6 +171,17 @@ def run_study_parallel(
     a :class:`ProgressOverflowError`.  ``profile_dir`` captures one
     cProfile stats file per shard execution.
 
+    ``event_sink`` turns on per-shard structured event buffering:
+    each worker runs under a fresh :class:`~repro.obs.EventLog`
+    (epoch starts, chaos installations — no wall stamps), buffers ship
+    back in the wire results, and the assembled study event list
+    (ordered by ``(shard, seq)``, deduplicated by shard) is appended
+    to the sink — byte-identical to a sequential run's log.
+    ``event_log`` is different: a live, wall-clock
+    :class:`~repro.obs.EventLog` (the serve layer's, or the study's
+    own) that the parent-side scheduler narrates shard lifecycle into
+    — dispatch, retries, gang recoveries, pool rebuilds.
+
     ``quic`` turns on the QUIC ECN-validation probe family in every
     shard's measurement application; it rides in the
     :class:`ShardJob` without joining the worker world-cache key.
@@ -200,6 +216,7 @@ def run_study_parallel(
             observe=observe,
             fault_plan=fault_plan,
             span_detail=span_detail,
+            events=event_sink is not None,
             flight_dir=flight_path,
             profile_dir=profile_path,
             quic=quic,
@@ -243,6 +260,7 @@ def run_study_parallel(
         flight=parent_flight,
         flight_dir=flight_path,
         pool=pool,
+        events=event_log,
     )
     started = time.perf_counter()
     try:
@@ -273,6 +291,8 @@ def run_study_parallel(
         # Same dedup-by-shard discipline as metrics, same assembly
         # path as the sequential recorder: bit-identical by design.
         span_sink.extend(assemble_study_spans(collect_shard_spans(results)))
+    if event_sink is not None:
+        event_sink.extend(assemble_study_events(collect_shard_events(results)))
     traces = merge_traces(
         (r for r in results if r["kind"] == KIND_TRACES),
         server_addrs=list(target_tuple),

@@ -167,6 +167,25 @@ def collect_shard_spans(results: Iterable[dict]) -> dict[int, list[dict]]:
     return by_shard
 
 
+def collect_shard_events(results: Iterable[dict]) -> dict[int, list[dict]]:
+    """Gather per-shard event buffers from wire results, deduplicated.
+
+    Workers ship their event log's export under the ``events`` key.
+    The same setdefault discipline as :func:`collect_shard_spans`: a
+    shard observed twice contributes one buffer — either copy is
+    identical by the event determinism contract (per-shard seqs, no
+    wall stamps).  Feed the result to
+    :func:`repro.obs.assemble_study_events`.
+    """
+    by_shard: dict[int, list[dict]] = {}
+    for result in results:
+        _check_format(result)
+        events = result.get("events")
+        if events:
+            by_shard.setdefault(int(result["shard_id"]), events)
+    return by_shard
+
+
 def merge_campaign(
     results: Iterable[dict],
     vantage_order: Sequence[str],

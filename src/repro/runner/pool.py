@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import logging
 import threading
+import time
 
 logger = logging.getLogger("repro.runner")
 
@@ -56,6 +57,9 @@ class SharedWorkerPool:
         self._unavailable = False
         #: Executors retired by :meth:`invalidate`; rebuilds count here.
         self.rebuilds = 0
+        #: Monotonic stamp of the last successful :meth:`acquire`,
+        #: ``None`` until the pool first hands out an executor.
+        self._last_acquire: float | None = None
 
     # ------------------------------------------------------------------
     def acquire(self):
@@ -71,6 +75,8 @@ class SharedWorkerPool:
                 self._executor = self._build()
                 if self._executor is None:
                     self._unavailable = True
+            if self._executor is not None:
+                self._last_acquire = time.monotonic()
             return self._executor
 
     def invalidate(self, executor) -> None:
@@ -85,6 +91,44 @@ class SharedWorkerPool:
             self._executor = None
             self.rebuilds += 1
         executor.shutdown(wait=False, cancel_futures=True)
+
+    def describe(self) -> dict:
+        """Liveness snapshot for health endpoints.
+
+        ``workers_alive`` counts the executor's worker processes that
+        are actually running right now; a lazily-unstarted pool reports
+        ``started: False`` with zero alive, which is healthy (the first
+        study will build it), while ``lost: True`` means the pool can
+        no longer execute shards: the platform probe failed terminally,
+        the pool was shut down, or every started worker process died.
+        """
+        with self._lock:
+            executor = self._executor
+            closed = self._closed
+            unavailable = self._unavailable
+            rebuilds = self.rebuilds
+            last_acquire = self._last_acquire
+        alive = 0
+        started = executor is not None
+        if started:
+            # ProcessPoolExecutor keeps its worker Process objects in
+            # `_processes`; private, but stable across the supported
+            # CPythons and the only window into per-worker liveness.
+            processes = getattr(executor, "_processes", None) or {}
+            alive = sum(1 for process in processes.values() if process.is_alive())
+        lost = closed or unavailable or (started and alive == 0)
+        document = {
+            "workers": self.workers,
+            "workers_alive": alive,
+            "started": started,
+            "rebuilds": rebuilds,
+            "lost": lost,
+        }
+        if last_acquire is not None:
+            document["last_acquire_age_seconds"] = round(
+                time.monotonic() - last_acquire, 3
+            )
+        return document
 
     def shutdown(self) -> None:
         """Tear the pool down for good (server shutdown path)."""

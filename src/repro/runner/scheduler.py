@@ -64,6 +64,7 @@ class ShardScheduler:
         flight=None,
         flight_dir=None,
         pool=None,
+        events=None,
     ) -> None:
         self.workers = workers
         self.retry = retry if retry is not None else RetryPolicy()
@@ -87,6 +88,12 @@ class ShardScheduler:
         #: leaves a black box of every brush with failure.
         self.flight = flight
         self.flight_dir = flight_dir
+        #: Parent-side live :class:`~repro.obs.EventLog` the scheduler
+        #: narrates shard lifecycle into (dispatch, retries, gang
+        #: recoveries, pool rebuilds); falsey when disabled.  Distinct
+        #: from the workers' deterministic per-shard logs — these
+        #: events carry wall clocks and never join the merge contract.
+        self.events = events
 
     # ------------------------------------------------------------------
     # Entry point
@@ -104,6 +111,10 @@ class ShardScheduler:
         if self.flight:
             self.flight.record(
                 "dispatch", shards=len(jobs), workers=self.workers
+            )
+        if self.events:
+            self.events.emit(
+                "shard-dispatch", "info", shards=len(jobs), workers=self.workers
             )
         if self.pool is not None:
             return self._run_pooled(jobs, self.pool.acquire, on_complete)
@@ -294,6 +305,13 @@ class ShardScheduler:
                 shards=[job.shard.shard_id for job in owed],
             )
             self._dump_flight(f"gang recovery: {cause}")
+        if self.events:
+            self.events.emit(
+                "gang-recovery",
+                "warning",
+                cause=repr(cause),
+                shards=[job.shard.shard_id for job in owed],
+            )
         retries = [self._next_attempt(job, cause, sleep=False) for job in owed]
         if self.metrics:
             self.metrics.incr("runner.shards_recovered", len(retries))
@@ -309,6 +327,8 @@ class ShardScheduler:
             self.metrics.incr("runner.pool_rebuilds")
         if self.flight:
             self.flight.record("pool-rebuild")
+        if self.events:
+            self.events.emit("pool-rebuild", "warning")
         executor = executor_factory()
         if executor is None:
             self._dump_flight("worker pool died and could not be rebuilt")
@@ -337,6 +357,13 @@ class ShardScheduler:
                 self._dump_flight(
                     f"shard {job.shard.shard_id} exhausted its retry budget"
                 )
+            if self.events:
+                self.events.emit(
+                    "budget-exhausted",
+                    "alert",
+                    shard=job.shard.shard_id,
+                    error=repr(exc),
+                )
             raise ShardExecutionError(
                 f"shard {job.shard.shard_id} ({job.shard.label()}) failed "
                 f"after {attempt} attempts: {exc}"
@@ -346,6 +373,14 @@ class ShardScheduler:
         if self.flight:
             self.flight.record(
                 "shard-retry", shard=job.shard.shard_id, attempt=attempt, error=repr(exc)
+            )
+        if self.events:
+            self.events.emit(
+                "shard-retry",
+                "warning",
+                shard=job.shard.shard_id,
+                attempt=attempt,
+                error=repr(exc),
             )
         delay = self.retry.delay(attempt)
         logger.warning(

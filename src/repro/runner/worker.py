@@ -32,6 +32,7 @@ from pathlib import Path
 
 from ..core.measurement import MeasurementApplication
 from ..faults.events import FaultPlan
+from ..obs.events import EventLog
 from ..obs.flight import FlightRecorder
 from ..obs.metrics import MetricsRegistry
 from ..obs.spans import SpanRecorder
@@ -84,6 +85,10 @@ class ShardJob:
     #: Span detail level (:data:`repro.obs.DETAIL_EPOCH` /
     #: :data:`~repro.obs.DETAIL_PROBE`); ``None`` records no spans.
     span_detail: str | None = None
+    #: When True the worker buffers structured events (epoch starts,
+    #: chaos installations) in a fresh per-shard EventLog and ships
+    #: them back under the wire result's ``events`` key.
+    events: bool = False
     #: Directory for crash flight-recorder dumps; ``None`` disarms.
     flight_dir: str | None = None
     #: Directory for per-shard cProfile dumps; ``None`` disables.
@@ -202,6 +207,22 @@ def execute_shard(job: ShardJob) -> dict:
 
 def _execute_shard(job: ShardJob, flight: FlightRecorder | None) -> dict:
     if job.fault is not None and job.attempt < job.fault.attempts:
+        if flight is not None:
+            # The injected crash fires before the measurement builds
+            # its per-shard event log, so narrate the injection into a
+            # fresh shard-scoped log first: the crash dump's event tail
+            # then describes the *triggering* shard, never whatever
+            # shard this worker process happened to run last.
+            crash_log = None
+            if job.events:
+                crash_log = EventLog(stamp_wall=False, shard=job.shard.shard_id)
+                crash_log.emit(
+                    "fault-injected",
+                    "warning",
+                    fault=job.fault.kind,
+                    attempt=job.attempt,
+                )
+            flight.attach_events(crash_log)
         if job.fault.kind == FAULT_EXIT:
             # Simulate a crashed/killed worker: bypass all exception
             # handling, including the executor's own bookkeeping.  The
@@ -253,6 +274,23 @@ def _execute_shard(job: ShardJob, flight: FlightRecorder | None) -> dict:
             flight=flight,
         )
         world.set_span_recorder(spans)
+    # And a fresh event log per shard: no wall stamps (shard events are
+    # part of the determinism contract) and the same context map the
+    # span recorder uses, so sequential and sharded runs mint identical
+    # (shard, seq) pairs.  A retried shard re-emits from scratch.
+    event_log = None
+    if job.events:
+        event_log = EventLog(
+            stamp_wall=False,
+            context_map=shard_context_map(world.params.schedule),
+        )
+        world.set_event_log(event_log)
+    if flight is not None:
+        # (Re)attach per job — also detaches a previous shard's log
+        # when this job runs without events, so a crash dump never
+        # carries a stale tail.  Not detached in the finally below:
+        # the crash dump happens *after* that finally runs.
+        flight.attach_events(event_log)
     profiler = None
     if job.profile_dir is not None:
         import cProfile
@@ -275,11 +313,15 @@ def _execute_shard(job: ShardJob, flight: FlightRecorder | None) -> dict:
             world.network.set_observability(None)
         if spans is not None:
             world.set_span_recorder(None)
+        if event_log is not None:
+            world.set_event_log(None)
     result["elapsed"] = time.perf_counter() - started
     if registry is not None:
         result["metrics"] = registry.snapshot()
     if spans is not None:
         result["spans"] = spans.shard_exports()
+    if event_log is not None:
+        result["events"] = event_log.export()
     if profiler is not None:
         directory = Path(job.profile_dir)
         directory.mkdir(parents=True, exist_ok=True)

@@ -166,6 +166,9 @@ class SyntheticInternet:
         #: Optional :class:`repro.obs.SpanRecorder`; installed via
         #: :meth:`set_span_recorder`, truthiness-gated at call sites.
         self.spans = None
+        #: Optional :class:`repro.obs.EventLog`; installed via
+        #: :meth:`set_event_log`, truthiness-gated at call sites.
+        self.events = None
 
         self._start_services()
         self._deploy_server_middleboxes()
@@ -742,6 +745,14 @@ class SyntheticInternet:
         if recorder is not None:
             scheduler = self.network.scheduler
             recorder.bind_clock(lambda: scheduler.now)
+
+    def set_event_log(self, events) -> None:
+        """Attach (or detach, with ``None``) a structured event log.
+
+        Emission sites (the fault injector, the measurement app) read
+        ``world.events`` truthiness-gated, exactly like ``world.spans``.
+        """
+        self.events = events
 
     def install_fault_plan(self, plan) -> None:
         """Attach (or detach, with ``None``) a :class:`~repro.faults.FaultPlan`.

@@ -30,6 +30,7 @@ import math
 import secrets
 from pathlib import Path
 
+from ..obs import PROM_CONTENT_TYPE, render_events_jsonl, render_prometheus
 from .http import HttpError, Request, Response
 from .index import STATUS_CANCELLED, STATUS_QUEUED, StudyIndex
 from .queue import (
@@ -73,6 +74,7 @@ class StudyApp:
         index: StudyIndex,
         studies_dir: str | Path,
         on_shutdown=None,
+        events=None,
     ) -> None:
         self.queue = queue
         self.scheduler = scheduler
@@ -80,6 +82,10 @@ class StudyApp:
         self.studies_dir = Path(studies_dir)
         #: Zero-arg callback arming graceful shutdown (server-owned).
         self.on_shutdown = on_shutdown
+        #: Server-wide live :class:`~repro.obs.EventLog`; admissions,
+        #: rejections and cancellations narrate through it, and
+        #: ``GET /events`` serves its since-cursor window.
+        self.events = events
         self.draining = False
 
     # ------------------------------------------------------------------
@@ -92,16 +98,18 @@ class StudyApp:
         except ValidationError as exc:
             return Response.error(400, str(exc))
         except QueueFull as exc:
-            return self._too_many(str(exc), exc.retry_after)
+            return self._too_many("queue-full", str(exc), exc.retry_after)
         except QuotaExceeded as exc:
-            return self._too_many(str(exc), exc.retry_after)
+            return self._too_many("tenant-quota", str(exc), exc.retry_after)
 
     def _route(self, request: Request, segments: list[str]):
         method = request.method
         if segments == ["healthz"] and method == "GET":
             return self.health()
         if segments == ["metrics"] and method == "GET":
-            return self.metrics()
+            return self.metrics(request)
+        if segments == ["events"] and method == "GET":
+            return self.events_feed(request)
         if segments == ["admin", "shutdown"] and method == "POST":
             return self.shutdown()
         if segments[:1] == ["studies"]:
@@ -129,8 +137,14 @@ class StudyApp:
                 return self.artifacts(run_id, rest[1:])
         raise HttpError(404, f"no route for {method} {request.path}")
 
-    @staticmethod
-    def _too_many(message: str, retry_after: float) -> Response:
+    def _too_many(self, cause: str, message: str, retry_after: float) -> Response:
+        if self.events:
+            self.events.emit(
+                "serve-reject",
+                "warning",
+                cause=cause,
+                retry_after=round(retry_after, 3),
+            )
         return Response.error(
             429, message, **{"Retry-After": str(int(math.ceil(retry_after)))}
         )
@@ -166,6 +180,14 @@ class StudyApp:
         handle = self.scheduler.track(admitted)
         handle.post({"type": "queued", "run_id": run_id, "tenant": tenant})
         self.scheduler.metrics.incr("serve.submitted")
+        if self.events:
+            self.events.emit(
+                "serve-submit",
+                "info",
+                run_id=run_id,
+                tenant=tenant,
+                priority=admitted.priority,
+            )
         self.scheduler.kick()
         return Response.json(
             {
@@ -234,6 +256,8 @@ class StudyApp:
         except KeyError:
             pass
         self.scheduler.metrics.incr("serve.cancelled")
+        if self.events:
+            self.events.emit("serve-cancel", "info", run_id=run_id)
         return Response.json({"run_id": run_id, "status": STATUS_CANCELLED})
 
     def progress(self, run_id: str) -> StreamProgress:
@@ -283,17 +307,66 @@ class StudyApp:
         return directory
 
     def health(self) -> Response:
-        return Response.json(
-            {
-                "status": "draining" if self.draining else "ok",
-                "queued": self.queue.queued_count,
-                "running": self.queue.running_count,
-                "queue_depth": self.queue.depth,
-                "tenant_quota": self.queue.tenant_quota,
-            }
-        )
+        """Liveness + queue state + worker-pool liveness.
 
-    def metrics(self) -> Response:
+        A configured pool that can no longer execute shards (platform
+        probe failed, shut down, or every started worker process died)
+        flips the whole endpoint to 503 — orchestrators should restart
+        the server rather than queue studies that cannot run.
+        """
+        payload = {
+            "status": "draining" if self.draining else "ok",
+            "queued": self.queue.queued_count,
+            "running": self.queue.running_count,
+            "queue_depth": self.queue.depth,
+            "tenant_quota": self.queue.tenant_quota,
+        }
+        status = 200
+        pool = self.scheduler.pool
+        if pool is not None:
+            pool_state = pool.describe()
+            payload["pool"] = pool_state
+            if pool_state["lost"]:
+                payload["status"] = "degraded"
+                status = 503
+        return Response.json(payload, status=status)
+
+    def _extra_gauges(self) -> dict:
+        """Live queue/scheduler/pool state, as exposition gauges."""
+        stats = self.queue.stats
+        gauges = {
+            "serve.queued": self.queue.queued_count,
+            "serve.running": self.queue.running_count,
+            "serve.queue_limit": self.queue.depth,
+            "serve.admitted_total": stats.admitted,
+            "serve.rejected_full_total": stats.rejected_full,
+            "serve.rejected_quota_total": stats.rejected_quota,
+            "serve.cancelled_total": stats.cancelled,
+            "serve.draining": int(self.draining),
+        }
+        pool = self.scheduler.pool
+        if pool is not None:
+            pool_state = pool.describe()
+            gauges["serve.pool_workers"] = pool_state["workers"]
+            gauges["serve.pool_workers_alive"] = pool_state["workers_alive"]
+            gauges["serve.pool_rebuilds"] = pool_state["rebuilds"]
+            gauges["serve.pool_lost"] = int(pool_state["lost"])
+        if self.events:
+            gauges["serve.events_next_seq"] = self.events.next_seq
+            gauges["serve.events_dropped"] = sum(self.events.dropped().values())
+        return gauges
+
+    def metrics(self, request: Request | None = None) -> Response:
+        fmt = (request.query.get("format", "json") if request else "json").lower()
+        if fmt == "prometheus":
+            text = render_prometheus(
+                self.scheduler.metrics.snapshot(), extra_gauges=self._extra_gauges()
+            )
+            return Response.text(text, content_type=PROM_CONTENT_TYPE)
+        if fmt != "json":
+            raise HttpError(
+                400, f"unknown metrics format {fmt!r}: one of json, prometheus"
+            )
         snapshot = self.scheduler.metrics.snapshot()
         stats = self.queue.stats
         return Response.json(
@@ -310,8 +383,42 @@ class StudyApp:
             }
         )
 
+    def events_feed(self, request: Request) -> Response:
+        """Since-cursor window of the server's live event log (NDJSON).
+
+        ``?since=N`` resumes from stream position ``N`` (default 0 —
+        everything still buffered); ``?limit=M`` caps the window.  The
+        ``X-Next-Cursor`` header is what a client passes as ``since``
+        on its next poll; events that fell off the ring are gone, and a
+        cursor beyond the head is clamped back to it.
+        """
+        if self.events is None:
+            raise HttpError(404, "event log is not enabled on this server")
+        try:
+            since = int(request.query.get("since", "0"))
+            limit_text = request.query.get("limit")
+            limit = int(limit_text) if limit_text is not None else None
+        except ValueError as exc:
+            raise HttpError(400, f"since/limit must be integers: {exc}") from None
+        if since < 0 or (limit is not None and limit < 0):
+            raise HttpError(400, "since/limit must be non-negative")
+        window = self.events.since(since, limit=limit)
+        if window:
+            next_cursor = window[-1]["seq"] + 1
+        else:
+            next_cursor = min(since, self.events.next_seq)
+        body = render_events_jsonl(window)
+        return Response(
+            status=200,
+            body=body.encode(),
+            content_type="application/x-ndjson",
+            headers={"X-Next-Cursor": str(next_cursor)},
+        )
+
     def shutdown(self) -> Response:
         self.draining = True
+        if self.events:
+            self.events.emit("serve-shutdown", "warning")
         if self.on_shutdown is not None:
             self.on_shutdown()
         return Response.json({"status": "draining"})

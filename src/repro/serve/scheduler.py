@@ -35,7 +35,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..core.discovery import PoolDiscovery
-from ..obs import MetricsRegistry
+from ..obs import DURATION_BOUNDS, MetricsRegistry
 from ..scenario.internet import SyntheticInternet
 from ..scenario.parameters import params_for_scale
 from ..study import Study
@@ -70,6 +70,8 @@ class RunHandle:
     error: str | None = None
     events: list[dict] = field(default_factory=list)
     changed: asyncio.Event = field(default_factory=asyncio.Event)
+    #: Monotonic stamp of admission; queue-wait = started_at - queued_at.
+    queued_at: float = field(default_factory=time.monotonic)
     started_at: float | None = None
     finished_at: float | None = None
 
@@ -101,6 +103,29 @@ class RunHandle:
         if self.started_at is not None and self.finished_at is not None:
             payload["elapsed_seconds"] = round(self.finished_at - self.started_at, 3)
         return payload
+
+
+class _RunEventView:
+    """A per-run face of the server's event log.
+
+    Folds the run's correlation fields (``run_id``, ``tenant``) into
+    every emission before forwarding to the shared log — the runner's
+    :class:`~repro.runner.ShardScheduler` narrates through one of
+    these, so concurrent studies stay distinguishable in ``/events``
+    without rebinding the shared log's context (which would race).
+    """
+
+    __slots__ = ("_log", "_context")
+
+    def __init__(self, log, **context) -> None:
+        self._log = log
+        self._context = {k: v for k, v in context.items() if v is not None}
+
+    def __bool__(self) -> bool:
+        return bool(self._log)
+
+    def emit(self, kind: str, level: str = "info", /, **fields):
+        return self._log.emit(kind, level, **{**self._context, **fields})
 
 
 @dataclass
@@ -164,6 +189,7 @@ class StudyScheduler:
         study_workers: int = 0,
         max_concurrent: int = 2,
         metrics: MetricsRegistry | None = None,
+        events=None,
     ) -> None:
         if max_concurrent < 1:
             raise ValueError(f"max_concurrent must be >= 1: {max_concurrent!r}")
@@ -176,6 +202,10 @@ class StudyScheduler:
         self.study_workers = study_workers
         self.max_concurrent = max_concurrent
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Server-wide live :class:`~repro.obs.EventLog` (wall-clock
+        #: side — never part of any determinism contract); ``None``
+        #: disables serve-layer event narration.
+        self.events = events
         self.worlds = WorldCache(metrics=self.metrics)
         self.runs: dict[str, RunHandle] = {}
         self._tasks: set[asyncio.Task] = set()
@@ -225,6 +255,18 @@ class StudyScheduler:
                 handle = self.track(submission)
             handle.status = STATUS_RUNNING
             handle.started_at = time.monotonic()
+            queue_wait = handle.started_at - handle.queued_at
+            self.metrics.observe(
+                "serve.queue_wait_seconds", queue_wait, DURATION_BOUNDS
+            )
+            if self.events:
+                self.events.emit(
+                    "run-start",
+                    "info",
+                    run_id=submission.run_id,
+                    tenant=submission.tenant,
+                    queue_wait=round(queue_wait, 3),
+                )
             handle.post({"type": "started", "run_id": submission.run_id})
             try:
                 self.index.set_status(submission.run_id, STATUS_RUNNING)
@@ -259,6 +301,14 @@ class StudyScheduler:
             handle.status = STATUS_FAILED
             handle.error = f"{type(exc).__name__}: {exc}"
             self.metrics.incr("serve.failed")
+            if self.events:
+                self.events.emit(
+                    "run-failed",
+                    "warning",
+                    run_id=submission.run_id,
+                    tenant=submission.tenant,
+                    error=handle.error,
+                )
             try:
                 self.index.set_status(submission.run_id, STATUS_FAILED, error=handle.error)
             except KeyError:
@@ -266,6 +316,13 @@ class StudyScheduler:
         else:
             handle.status = STATUS_COMPLETE
             self.metrics.incr("serve.completed")
+            if self.events:
+                self.events.emit(
+                    "run-complete",
+                    "info",
+                    run_id=submission.run_id,
+                    tenant=submission.tenant,
+                )
             # Register completion here, on the loop thread: the index
             # follows a single-writer discipline per root (lost updates
             # otherwise — a second instance's flush would revert other
@@ -342,6 +399,14 @@ class StudyScheduler:
     # ------------------------------------------------------------------
     # Study execution (worker thread)
     # ------------------------------------------------------------------
+    def _run_events(self, submission: Submission):
+        """The run-scoped event view, or ``None`` with events off."""
+        if not self.events:
+            return None
+        return _RunEventView(
+            self.events, run_id=submission.run_id, tenant=submission.tenant
+        )
+
     def _execute(self, submission: Submission, progress) -> dict | None:
         params = submission.params
         if params.campaign is not None:
@@ -360,7 +425,10 @@ class StudyScheduler:
         )
         if self.pool is not None:
             study = Study.run(
-                workers=max(self.study_workers, 1), pool=self.pool, **common
+                workers=max(self.study_workers, 1),
+                pool=self.pool,
+                event_log=self._run_events(submission),
+                **common,
             )
         else:
             # Sequential runs mutate the world: same-(scale, seed)
@@ -419,6 +487,7 @@ class StudyScheduler:
                 workers=workers,
                 pool=self.pool,
                 progress=progress,
+                events=self._run_events(submission),
             )
         else:
             driver = CampaignDriver.create(
@@ -428,6 +497,7 @@ class StudyScheduler:
                 workers=workers,
                 pool=self.pool,
                 progress=progress,
+                events=self._run_events(submission),
             )
         driver.run()
         return {

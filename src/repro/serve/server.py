@@ -32,7 +32,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..ioutil import atomic_write_text
-from ..obs import MetricsRegistry
+from ..obs import EventLog, MetricsRegistry
 from .app import StreamProgress, StudyApp
 from .http import (
     ChunkedWriter,
@@ -75,6 +75,11 @@ class StudyServer:
         self.data_dir = Path(config.data_dir)
         self.data_dir.mkdir(parents=True, exist_ok=True)
         self.metrics = MetricsRegistry()
+        #: Server-wide live event log (wall-clock side): serve
+        #: admissions/rejections, scheduler run lifecycle, and runner
+        #: shard lifecycle all narrate into this one ring, which
+        #: ``GET /events`` serves with a since-cursor.
+        self.events = EventLog()
         # Adopt any pre-index archives so they are enumerable/servable.
         self.index, migrated = migrate_results_root(self.data_dir)
         if migrated:
@@ -95,6 +100,7 @@ class StudyServer:
             study_workers=config.workers,
             max_concurrent=config.max_concurrent,
             metrics=self.metrics,
+            events=self.events,
         )
         self.app = StudyApp(
             queue=self.queue,
@@ -102,6 +108,7 @@ class StudyServer:
             index=self.index,
             studies_dir=self.data_dir,
             on_shutdown=self.request_shutdown,
+            events=self.events,
         )
         self._server: asyncio.Server | None = None
         self._scheduler_task: asyncio.Task | None = None
@@ -131,6 +138,13 @@ class StudyServer:
             self._handle_connection, host=self.config.host, port=self.config.port
         )
         self.scheduler.kick()
+        self.events.emit(
+            "serve-start",
+            "info",
+            port=self.port,
+            workers=self.config.workers,
+            resumed=resumed,
+        )
         logger.info(
             "serving on %s:%d (workers=%d queue_depth=%d tenant_quota=%d)",
             self.config.host,

@@ -37,11 +37,14 @@ from .core.traces import TraceSet, TracerouteCampaign
 from .ioutil import atomic_write_text
 from .obs import (
     DETAIL_EPOCH,
+    EventLog,
     MetricsRegistry,
     PathTracer,
     RunTelemetry,
     SpanRecorder,
+    canonical_events,
     export_chrome_trace,
+    render_events_jsonl,
 )
 from .reporting.export import (
     export_figure_data,
@@ -75,6 +78,9 @@ class Study:
     #: Assembled span list (study root first) when span recording was
     #: on; canonically identical for any worker count.
     spans: list | None = None
+    #: Structured event stream when event collection was on, ordered
+    #: by ``(shard, seq)``; byte-identical for any worker count.
+    events: list | None = None
     #: Longitudinal drift the world was built under (``None`` = the
     #: legacy undrifted world; archives stay byte-identical then).
     drift: EpochDrift | None = None
@@ -97,6 +103,8 @@ class Study:
         faults=None,
         chaos_seed: int = 0,
         record_spans: bool | str = False,
+        collect_events: bool = False,
+        event_log=None,
         obs_dir: str | Path | None = None,
         profile: bool = False,
         world: SyntheticInternet | None = None,
@@ -141,6 +149,18 @@ class Study:
         ``pool`` runs a sharded study's shards on a shared
         :class:`~repro.runner.SharedWorkerPool` rather than an owned
         per-study executor (requires ``workers > 0``).
+
+        ``collect_events=True`` turns on the structured event log
+        (:mod:`repro.obs.events`): epoch starts and chaos
+        installations land on :attr:`events`, ordered by
+        ``(shard, seq)`` and byte-identical for any ``workers`` value,
+        and :meth:`save` exports them as ``events.jsonl``.
+        ``event_log`` is the live, wall-clock counterpart: a caller's
+        :class:`~repro.obs.EventLog` (the study server's, typically)
+        that the sharded runner narrates shard lifecycle into —
+        dispatch, retries, gang recoveries.  It never joins the
+        determinism contract and is ignored by sequential runs, which
+        have no runner lifecycle to narrate.
 
         ``record_spans`` turns on the hierarchical span timeline
         (``True`` = epoch detail, or pass a
@@ -205,11 +225,13 @@ class Study:
         telemetry: RunTelemetry | None = None
         tracer: PathTracer | None = None
         span_list: list | None = None
+        event_list: list | None = None
         if workers > 0:
             from .runner import run_study_parallel
 
             telemetry = RunTelemetry() if collect_metrics else None
             span_sink: list = []
+            event_sink: list = []
             traces, campaign = run_study_parallel(
                 scale=scale,
                 seed=seed,
@@ -222,6 +244,8 @@ class Study:
                 telemetry=telemetry,
                 span_detail=span_detail,
                 span_sink=span_sink if span_detail is not None else None,
+                event_sink=event_sink if collect_events else None,
+                event_log=event_log,
                 flight_dir=obs_dir,
                 profile_dir=obs_dir if profile else None,
                 pool=pool,
@@ -230,6 +254,8 @@ class Study:
             )
             if span_detail is not None:
                 span_list = span_sink
+            if collect_events:
+                event_list = event_sink
             if telemetry is not None:
                 metrics_snapshot = telemetry.metrics
         else:
@@ -252,6 +278,21 @@ class Study:
                     ),
                 )
                 world.set_span_recorder(recorder)
+            event_log = None
+            if collect_events:
+                from .runner.shard import shard_context_map
+
+                # Same context-map trick as the span recorder: the
+                # sequential log mints the identical (shard, seq)
+                # pairs a worker fleet would, so merged event streams
+                # compare byte for byte.
+                event_log = EventLog(
+                    stamp_wall=False,
+                    context_map=shard_context_map(
+                        world.params.schedule, traceroutes=traceroutes
+                    ),
+                )
+                world.set_event_log(event_log)
             if fault_plan is not None:
                 # Installed after discovery, exactly as the parallel
                 # path does (workers install the plan; the parent's
@@ -280,12 +321,16 @@ class Study:
                     world.network.set_observability(None, None)
                 if recorder is not None:
                     world.set_span_recorder(None)
+                if event_log is not None:
+                    world.set_event_log(None)
                 if fault_plan is not None:
                     # Leave the retained world pristine, matching the
                     # parent-side world of a sharded run.
                     world.install_fault_plan(None)
             if recorder is not None:
                 span_list = recorder.export()
+            if event_log is not None:
+                event_list = event_log.export()
             if profiler is not None:
                 directory = Path(obs_dir)
                 directory.mkdir(parents=True, exist_ok=True)
@@ -309,6 +354,7 @@ class Study:
             telemetry=telemetry,
             tracer=tracer,
             spans=span_list,
+            events=event_list,
             drift=drift,
         )
 
@@ -451,6 +497,14 @@ class Study:
         if self.spans is not None:
             export_spans_json(directory / "spans.json", self.spans)
             export_chrome_trace(self.spans, directory / "trace.json")
+        if self.events is not None:
+            # Canonical form (wall stripped, (shard, seq) order), so a
+            # sharded study's events.jsonl is byte-identical to the
+            # sequential one's.
+            atomic_write_text(
+                directory / "events.jsonl",
+                render_events_jsonl(canonical_events(self.events)),
+            )
         export_figure_data(
             directory / "figures",
             self.reachability,

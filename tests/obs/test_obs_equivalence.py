@@ -14,6 +14,7 @@ import json
 
 import pytest
 
+from repro.obs import canonical_events, render_events_jsonl
 from repro.study import Study
 
 pytestmark = pytest.mark.slow
@@ -26,12 +27,16 @@ ARCHIVE_FILES = ("summary.json", "traces.json", "traceroutes.json", "traces.csv"
 
 @pytest.fixture(scope="module")
 def sequential():
-    return Study.run(scale=SCALE, seed=SEED, collect_metrics=True)
+    return Study.run(
+        scale=SCALE, seed=SEED, collect_metrics=True, collect_events=True
+    )
 
 
 @pytest.fixture(scope="module")
 def sharded():
-    return Study.run(scale=SCALE, seed=SEED, workers=4, collect_metrics=True)
+    return Study.run(
+        scale=SCALE, seed=SEED, workers=4, collect_metrics=True, collect_events=True
+    )
 
 
 class TestCounterEquivalence:
@@ -61,6 +66,76 @@ class TestCounterEquivalence:
         assert len(telemetry.shards) == telemetry.runner["runner.shards_dispatched"]
         assert telemetry.total_retries == 0
         assert telemetry.metrics == sharded.metrics
+
+
+class TestHistogramEquivalence:
+    def test_histograms_present(self, sequential):
+        histograms = sequential.metrics["histograms"]
+        assert "app.rtt.udp_plain" in histograms
+        assert histograms["app.rtt.udp_plain"]["count"] > 0
+
+    def test_histograms_bit_identical_across_sharding(self, sequential, sharded):
+        assert sequential.metrics["histograms"] == sharded.metrics["histograms"]
+
+    def test_histogram_serialisation_identical(self, sequential, sharded):
+        assert json.dumps(sequential.metrics["histograms"]) == json.dumps(
+            sharded.metrics["histograms"]
+        )
+
+
+class TestEventEquivalence:
+    def test_event_streams_bit_identical_across_sharding(self, sequential, sharded):
+        assert render_events_jsonl(
+            canonical_events(sequential.events)
+        ) == render_events_jsonl(canonical_events(sharded.events))
+
+    def test_events_nonempty_and_attributed(self, sequential):
+        events = canonical_events(sequential.events)
+        assert events
+        kinds = {event["kind"] for event in events}
+        assert "epoch-start" in kinds
+        assert all("shard" in event and "seq" in event for event in events)
+        assert all("wall" not in event for event in events)
+
+    def test_saved_events_jsonl_byte_identical(self, sequential, sharded, tmp_path):
+        seq_dir = sequential.save(tmp_path / "seq")
+        shard_dir = sharded.save(tmp_path / "shard")
+        assert (seq_dir / "events.jsonl").read_bytes() == (
+            shard_dir / "events.jsonl"
+        ).read_bytes()
+
+
+class TestChaosEquivalence:
+    """The same contracts hold with the fault injector running."""
+
+    @pytest.fixture(scope="class")
+    def chaos_sequential(self):
+        return Study.run(
+            scale=SCALE, seed=SEED, faults="default", chaos_seed=5,
+            collect_metrics=True, collect_events=True,
+        )
+
+    @pytest.fixture(scope="class")
+    def chaos_sharded(self):
+        return Study.run(
+            scale=SCALE, seed=SEED, faults="default", chaos_seed=5, workers=4,
+            collect_metrics=True, collect_events=True,
+        )
+
+    def test_fault_events_emitted(self, chaos_sequential):
+        kinds = [event["kind"] for event in chaos_sequential.events]
+        assert "fault" in kinds
+
+    def test_chaos_event_streams_identical(self, chaos_sequential, chaos_sharded):
+        assert canonical_events(chaos_sequential.events) == canonical_events(
+            chaos_sharded.events
+        )
+
+    def test_chaos_histograms_identical(self, chaos_sequential, chaos_sharded):
+        assert (
+            chaos_sequential.metrics["histograms"]
+            == chaos_sharded.metrics["histograms"]
+        )
 
 
 class TestObservationIsInert:

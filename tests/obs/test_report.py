@@ -130,6 +130,7 @@ class TestSections:
             "Phase timing",
             "Slowest shards",
             "Chaos timeline",
+            "Histograms",
             "ECN mark survival",
         ]
 

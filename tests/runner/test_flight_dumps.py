@@ -82,3 +82,27 @@ def test_budget_exhaustion_dumps_the_parent_ring(tmp_path):
 def test_clean_run_leaves_no_dumps(tmp_path):
     _run(tmp_path, faults=None)
     assert not list(tmp_path.glob("flight-*.json"))
+
+
+def test_crash_dump_carries_the_shards_event_tail(tmp_path):
+    """With events on, a killed worker's dump includes its last events.
+
+    The event ring is attached to the flight recorder per job, so the
+    dump written during crash handling carries the structured narration
+    of exactly the shard that triggered it — the satellite contract of
+    the live observability plane.
+    """
+    events: list = []
+    _run(
+        tmp_path,
+        faults={1: FaultSpec(kind=FAULT_EXIT, attempts=1)},
+        event_sink=events,
+    )
+    document = load_flight_dump(tmp_path / "flight-shard-1.json")
+    tail = document.get("event_tail")
+    assert tail, "the killed shard's dump carried no event tail"
+    assert all(event["shard"] == 1 for event in tail)
+    assert tail[-1]["kind"] == "fault-injected"
+    assert tail[-1]["fault"] == FAULT_EXIT
+    # The merged study stream still arrived despite the crash-retry.
+    assert any(event.get("kind") == "epoch-start" for event in events)

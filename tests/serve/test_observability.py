@@ -1,0 +1,229 @@
+"""Serve-layer observability endpoints over real sockets.
+
+Covers the live observability plane at the HTTP boundary: the
+Prometheus exposition of ``/metrics``, the NDJSON since-cursor feed at
+``/events``, and ``/healthz`` flipping to 503 when the shared worker
+pool is lost.  Studies run at scale 0.002 with ``workers=0``, matching
+the rest of the serve suite.
+"""
+
+import asyncio
+import json
+
+from repro.obs import PROM_CONTENT_TYPE, validate_exposition
+from repro.obs.prom import metric_name
+from repro.serve import ServeConfig, StudyServer
+
+from serve_client import request, request_json, wait_idle
+
+SCALE = 0.002
+SEED = 3
+
+
+def config(tmp_path, **overrides):
+    defaults = dict(
+        port=0,
+        workers=0,
+        queue_depth=8,
+        tenant_quota=4,
+        max_concurrent=2,
+        data_dir=str(tmp_path / "results"),
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def submit_body(seed=SEED, **extra):
+    return {"scale": SCALE, "seed": seed, "tenant": "alice", **extra}
+
+
+class TestPrometheusExposition:
+    def test_live_exposition_passes_validator(self, tmp_path):
+        async def go():
+            server = StudyServer(config(tmp_path))
+            await server.start()
+            try:
+                _, _, submitted = await request_json(
+                    server.port, "POST", "/studies", submit_body()
+                )
+                await wait_idle(server)
+                status, headers, payload = await request(
+                    server.port, "GET", "/metrics?format=prometheus"
+                )
+                assert status == 200
+                assert headers["content-type"] == PROM_CONTENT_TYPE
+                text = payload.decode()
+                types = validate_exposition(text)
+                # Serve gauges ride along with the registry families.
+                assert types[metric_name("serve.queued")] == "gauge"
+                assert types[metric_name("serve.admitted_total")] == "gauge"
+                # The scheduler observed the run's queue wait.
+                assert (
+                    types[metric_name("serve.queue_wait_seconds")] == "histogram"
+                )
+                assert f"{metric_name('serve.queue_wait_seconds')}_count 1" in text
+            finally:
+                await server.shutdown()
+
+        asyncio.run(go())
+
+    def test_unknown_format_is_400(self, tmp_path):
+        async def go():
+            server = StudyServer(config(tmp_path))
+            await server.start()
+            try:
+                status, _, body = await request_json(
+                    server.port, "GET", "/metrics?format=xml"
+                )
+                assert status == 400
+                assert "format" in body["error"]
+            finally:
+                await server.shutdown()
+
+        asyncio.run(go())
+
+
+class TestEventsFeed:
+    def test_lifecycle_events_and_since_cursor(self, tmp_path):
+        async def go():
+            server = StudyServer(config(tmp_path))
+            await server.start()
+            try:
+                _, _, submitted = await request_json(
+                    server.port, "POST", "/studies", submit_body()
+                )
+                run_id = submitted["run_id"]
+                await wait_idle(server)
+
+                status, headers, payload = await request(
+                    server.port, "GET", "/events"
+                )
+                assert status == 200
+                assert headers["content-type"] == "application/x-ndjson"
+                events = [
+                    json.loads(line) for line in payload.decode().splitlines()
+                ]
+                kinds = [e["kind"] for e in events]
+                assert "serve-start" in kinds
+                assert "serve-submit" in kinds
+                assert "run-start" in kinds and "run-complete" in kinds
+                for event in events:
+                    if event["kind"].startswith("run-"):
+                        assert event["run_id"] == run_id
+                        assert event["tenant"] == "alice"
+
+                # The advertised cursor resumes exactly past the window.
+                cursor = int(headers["x-next-cursor"])
+                assert cursor == events[-1]["seq"] + 1
+                status, headers, payload = await request(
+                    server.port, "GET", f"/events?since={cursor}"
+                )
+                assert status == 200 and payload == b""
+                assert int(headers["x-next-cursor"]) == cursor
+
+                # A mid-stream cursor returns only the suffix.
+                status, _, payload = await request(
+                    server.port, "GET", f"/events?since={events[2]['seq']}&limit=2"
+                )
+                window = [
+                    json.loads(line) for line in payload.decode().splitlines()
+                ]
+                assert [e["seq"] for e in window] == [
+                    events[2]["seq"],
+                    events[3]["seq"],
+                ]
+            finally:
+                await server.shutdown()
+
+        asyncio.run(go())
+
+    def test_bad_cursor_is_400(self, tmp_path):
+        async def go():
+            server = StudyServer(config(tmp_path))
+            await server.start()
+            try:
+                for query in ("?since=abc", "?since=-1", "?limit=x"):
+                    status, _, _ = await request_json(
+                        server.port, "GET", f"/events{query}"
+                    )
+                    assert status == 400, query
+            finally:
+                await server.shutdown()
+
+        asyncio.run(go())
+
+    def test_rejection_emits_warning_event(self, tmp_path):
+        async def go():
+            server = StudyServer(config(tmp_path, queue_depth=1, max_concurrent=1))
+            await server.start()
+            try:
+                # Long enough to hold the single slot while we overflow.
+                await request_json(
+                    server.port, "POST", "/studies",
+                    submit_body(scale=0.01, seed=1),
+                )
+                statuses = []
+                for seed in (2, 3, 4):
+                    status, _, _ = await request_json(
+                        server.port, "POST", "/studies", submit_body(seed=seed)
+                    )
+                    statuses.append(status)
+                assert 429 in statuses
+                _, _, payload = await request(server.port, "GET", "/events")
+                rejects = [
+                    json.loads(line)
+                    for line in payload.decode().splitlines()
+                    if json.loads(line)["kind"] == "serve-reject"
+                ]
+                assert rejects
+                assert rejects[0]["level"] == "warning"
+                assert rejects[0]["cause"] in ("queue-full", "tenant-quota")
+                await wait_idle(server)
+            finally:
+                await server.shutdown()
+
+        asyncio.run(go())
+
+
+class TestHealthz:
+    def test_healthy_without_pool_has_no_pool_section(self, tmp_path):
+        async def go():
+            server = StudyServer(config(tmp_path))
+            await server.start()
+            try:
+                status, _, body = await request_json(server.port, "GET", "/healthz")
+                assert status == 200
+                assert body["status"] == "ok"
+                assert "pool" not in body
+            finally:
+                await server.shutdown()
+
+        asyncio.run(go())
+
+    def test_lost_pool_degrades_to_503(self, tmp_path):
+        async def go():
+            server = StudyServer(config(tmp_path, workers=2))
+            await server.start()
+            try:
+                # A configured-but-unstarted pool is healthy.
+                status, _, body = await request_json(server.port, "GET", "/healthz")
+                assert status == 200
+                assert body["pool"]["workers"] == 2
+                assert body["pool"]["lost"] is False
+
+                # Simulate every worker process dying.
+                server.scheduler.pool.describe = lambda: {
+                    "workers": 2,
+                    "workers_alive": 0,
+                    "started": True,
+                    "rebuilds": 1,
+                    "lost": True,
+                }
+                status, _, body = await request_json(server.port, "GET", "/healthz")
+                assert status == 503
+                assert body["status"] == "degraded"
+                assert body["pool"]["workers_alive"] == 0
+            finally:
+                await server.shutdown()
+
+        asyncio.run(go())
